@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the simulator's hot paths: these measure the
+//! *host* cost of simulation (how fast the reproduction runs), not the
+//! simulated machine. Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dx100_common::LineAddr;
+use dx100_core::functional::FunctionalDx100;
+use dx100_core::isa::{Instruction, RegId, TileId};
+use dx100_core::{Dx100Config, MemoryImage};
+use dx100_dram::{DramConfig, DramSystem, MemRequest};
+use dx100_sim::SystemConfig;
+use dx100_workloads::micro::allhit::{run_allhit, MicroKind};
+use dx100_workloads::micro::allmiss::{build_indices, Scenario};
+
+/// FR-FCFS scheduling throughput: stream 4K random-line reads through the
+/// two-channel controller.
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_frfcfs_4k_requests", |b| {
+        b.iter(|| {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200_2ch());
+            let mut sent = 0u64;
+            let mut got = 0;
+            let mut now = 0;
+            while got < 4096 {
+                while sent < 4096 && dram.try_enqueue(
+                    MemRequest::read(sent, LineAddr(sent.wrapping_mul(2654435761) % (1 << 20))),
+                    now,
+                ) {
+                    sent += 1;
+                }
+                dram.tick(now);
+                while dram.pop_response().is_some() {
+                    got += 1;
+                }
+                now += 1;
+            }
+            got
+        })
+    });
+}
+
+/// Functional accelerator throughput: a full 16K-element gather.
+fn bench_functional_gather(c: &mut Criterion) {
+    c.bench_function("functional_gather_16k", |b| {
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", dx100_common::DType::U32, 1 << 20);
+        let idx = mem.alloc("B", dx100_common::DType::U32, 16 * 1024);
+        for i in 0..16 * 1024u64 {
+            mem.write_elem(idx, i, (i * 2654435761) % (1 << 20));
+        }
+        b.iter(|| {
+            let mut dx = FunctionalDx100::new(Dx100Config::paper());
+            dx.write_reg(RegId::new(0), 0);
+            dx.write_reg(RegId::new(1), 1);
+            dx.write_reg(RegId::new(2), 16 * 1024);
+            dx.run(
+                &[
+                    Instruction::sld(
+                        dx100_common::DType::U32,
+                        idx.base(),
+                        TileId::new(0),
+                        RegId::new(0),
+                        RegId::new(1),
+                        RegId::new(2),
+                    ),
+                    Instruction::ild(dx100_common::DType::U32, a.base(), TileId::new(1), TileId::new(0)),
+                ],
+                &mut mem,
+            )
+            .unwrap();
+            dx.tile(TileId::new(1)).get(0)
+        })
+    });
+}
+
+/// Index-pattern construction for the all-miss sweep (address-mapping
+/// inverse heavy).
+fn bench_allmiss_pattern(c: &mut Criterion) {
+    let dram = DramConfig::ddr4_3200_2ch();
+    for (name, s) in [
+        ("rbh0", Scenario { rbh: 0.0, chi: true, bgi: true }),
+        ("rbh100", Scenario { rbh: 1.0, chi: true, bgi: true }),
+    ] {
+        c.bench_with_input(BenchmarkId::new("allmiss_pattern", name), &s, |b, s| {
+            b.iter(|| build_indices(*s, LineAddr(4096), &dram))
+        });
+    }
+}
+
+/// Whole-machine simulation rate: the smallest all-hit microbenchmark, end
+/// to end (cores + caches + DRAM + DX100).
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system_allhit");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_allhit(MicroKind::GatherFull, false, &SystemConfig::paper_baseline(), 1).cycles)
+    });
+    g.bench_function("dx100", |b| {
+        b.iter(|| run_allhit(MicroKind::GatherFull, true, &SystemConfig::paper_dx100(), 1).cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram,
+    bench_functional_gather,
+    bench_allmiss_pattern,
+    bench_full_system
+);
+criterion_main!(benches);

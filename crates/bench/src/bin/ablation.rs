@@ -1,0 +1,43 @@
+//! Ablation study: switch off each of DX100's three bandwidth techniques
+//! (reordering, coalescing, interleaving) and the direct-DRAM path, and
+//! measure the all-miss gather plus two representative kernels.
+
+use dx100_sim::SystemConfig;
+use dx100_workloads::kernels::is::IntegerSort;
+use dx100_workloads::kernels::ume::Ume;
+use dx100_workloads::micro::allmiss::{run_allmiss, Scenario};
+use dx100_workloads::{KernelRun, Mode, Scale};
+
+fn variant(name: &str, f: impl Fn(&mut dx100_core::Dx100Config)) -> (String, SystemConfig) {
+    let mut cfg = SystemConfig::paper_dx100();
+    f(cfg.dx100.as_mut().unwrap());
+    (name.to_string(), cfg)
+}
+
+fn main() {
+    let scale = dx100_bench::scale_from_args();
+    let variants = vec![
+        variant("full", |_| {}),
+        variant("no-reorder", |d| d.reorder = false),
+        variant("no-coalesce", |d| d.coalesce = false),
+        variant("no-interleave", |d| d.interleave = false),
+        variant("llc-inject", |d| d.direct_dram = false),
+    ];
+    let worst = Scenario { rbh: 0.0, chi: false, bgi: false };
+    let kernels: Vec<Box<dyn KernelRun>> = vec![
+        Box::new(IntegerSort::new(Scale(scale * 0.5))),
+        Box::new(Ume::zone(Scale(scale * 0.5), false)),
+    ];
+    println!("Ablations — DX100 cycles (lower is better) and BW utilization\n");
+    println!("{:<14} {:>12} {:>8} {:>12} {:>12}", "variant", "allmiss-cyc", "bw%", "is-cyc", "gzz-cyc");
+    for (name, cfg) in variants {
+        let am = run_allmiss(worst, true, &cfg);
+        let mut cols = vec![format!("{:>12}", am.cycles), format!("{:>8.1}", am.bandwidth_utilization() * 100.0)];
+        for k in &kernels {
+            eprintln!("{name}: {}", k.name());
+            let r = k.run(Mode::Dx100, &cfg, 1);
+            cols.push(format!("{:>12}", r.stats.cycles));
+        }
+        println!("{:<14} {}", name, cols.join(" "));
+    }
+}

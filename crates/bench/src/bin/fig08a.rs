@@ -1,0 +1,10 @@
+//! Figure 8a: all-hit microbenchmark speedups (instruction offload, atomic
+//! elimination, scatter parallelization).
+
+fn main() {
+    println!("Figure 8a — all-hit microbenchmarks (paper: Gather-SPD 1.2x,");
+    println!("Gather-Full 3.2x, RMW-Atomic 17.8x, RMW-NoAtom 3.7x, Scatter 6.6x)\n");
+    for (label, speedup) in dx100_workloads::micro::allhit::fig08a(1) {
+        println!("{label:<14} {speedup:>8.2}x");
+    }
+}

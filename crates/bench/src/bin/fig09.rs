@@ -1,0 +1,21 @@
+//! Figure 9: DX100 speedup over the multicore baseline for each workload.
+
+use dx100_bench::{print_geomean, print_table, run_all, scale_from_args, summarize};
+
+fn main() {
+    let scale = scale_from_args();
+    let rows = run_all(scale, false, 1);
+    let mut speeds = Vec::new();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            eprintln!("  {}", summarize("base ", &r.baseline.stats));
+            eprintln!("  {}", summarize("dx100", &r.dx100.stats));
+            speeds.push(r.speedup());
+            (r.name.to_string(), vec![r.speedup()])
+        })
+        .collect();
+    println!("\nFigure 9 — DX100 speedup over baseline (paper: geomean 2.6x)");
+    print_table(&["speedup"], &table);
+    print_geomean("fig09", &speeds);
+}

@@ -1,0 +1,31 @@
+//! Figure 12: DX100 vs the DMP indirect prefetcher — speedup and bandwidth.
+
+use dx100_bench::{print_geomean, run_all, scale_from_args};
+
+fn main() {
+    let rows = run_all(scale_from_args(), true, 1);
+    println!("\nFigure 12 — DX100 vs DMP (paper: 2.0x speedup, 3.3x bandwidth)");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10}",
+        "kernel", "dx-vs-dmp", "dmp-bw%", "dx-bw%", "dmp-vs-base"
+    );
+    let (mut sp, mut bw) = (vec![], vec![]);
+    for r in &rows {
+        let dmp = r.dmp.as_ref().expect("fig12 runs DMP");
+        let s = r.speedup_vs_dmp().unwrap();
+        println!(
+            "{:<8} {:>11.2}x {:>10.1} {:>10.1} {:>9.2}x",
+            r.name,
+            s,
+            dmp.stats.bandwidth_utilization() * 100.0,
+            r.dx100.stats.bandwidth_utilization() * 100.0,
+            r.baseline.stats.cycles as f64 / dmp.stats.cycles.max(1) as f64,
+        );
+        sp.push(s);
+        if dmp.stats.bandwidth_utilization() > 0.0 {
+            bw.push(r.dx100.stats.bandwidth_utilization() / dmp.stats.bandwidth_utilization());
+        }
+    }
+    print_geomean("fig12a speedup vs DMP", &sp);
+    print_geomean("fig12b bandwidth vs DMP", &bw);
+}

@@ -1,0 +1,55 @@
+//! Figure 13: performance sensitivity to the DX100 tile size (1K â 32K).
+//!
+//! The paper attributes the gain to coalescing (1.4Ã fewer memory accesses
+//! at 32K vs 1K) and +27% row-buffer hits, so each row also reports the
+//! geomean indirect-access count (normalized to the 1K row) and the mean
+//! DX100-machine row-buffer hit rate.
+
+use dx100_common::stats::geomean;
+use dx100_bench::scale_from_args;
+use dx100_sim::SystemConfig;
+use dx100_workloads::{all_kernels, Mode, Scale};
+
+fn main() {
+    let scale = scale_from_args();
+    let kernels = all_kernels(Scale(scale));
+    println!("Figure 13 â tile-size sweep (paper: 1.7x @1K â 2.9x @32K,");
+    println!("            1.4x fewer accesses and +27% RBH at 32K vs 1K)\n");
+    // Baselines once per kernel.
+    let baselines: Vec<_> = kernels
+        .iter()
+        .map(|k| {
+            eprintln!("baseline {}", k.name());
+            k.run(Mode::Baseline, &SystemConfig::paper_baseline(), 1)
+        })
+        .collect();
+    let mut access_ref: Vec<f64> = Vec::new();
+    for tile in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+        let cfg = SystemConfig::paper_dx100().with_tile_elems(tile);
+        let mut speeds = Vec::new();
+        let mut accesses = Vec::new();
+        let mut rbh = Vec::new();
+        for (k, base) in kernels.iter().zip(&baselines) {
+            eprintln!("tile {tile} {}", k.name());
+            let dx = k.run(Mode::Dx100, &cfg, 1);
+            speeds.push(dx.stats.speedup_over(&base.stats));
+            if let Some(d) = &dx.stats.dx100 {
+                accesses.push(
+                    (d.indirect_line_reads + d.indirect_line_writes + d.stream_line_requests)
+                        .max(1) as f64,
+                );
+            }
+            rbh.push(dx.stats.row_buffer_hit_rate());
+        }
+        if access_ref.is_empty() {
+            access_ref = accesses.clone();
+        }
+        let rel: Vec<f64> = accesses.iter().zip(&access_ref).map(|(a, r)| a / r).collect();
+        println!(
+            "tile {tile:>5}: speedup {:>5.2}x   accesses vs 1K {:>5.2}x   dx100 RBH {:>5.1}%",
+            geomean(&speeds),
+            geomean(&rel),
+            100.0 * rbh.iter().sum::<f64>() / rbh.len().max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 14: scaling cores, memory channels, and DX100 instances
+//! (4c/1x vs 8c/1x vs 8c/2x, each normalized to the same-core baseline).
+
+use dx100_bench::{print_geomean, scale_from_args};
+use dx100_sim::SystemConfig;
+use dx100_workloads::{all_kernels, Mode, Scale};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Figure 14 — scalability (paper: 2.6x @4c/1x, 2.5x @8c/1x, 2.7x @8c/2x)\n");
+    for (label, cores, instances, data_mult) in [
+        ("4 cores, 1 instance", 4usize, 1usize, 1.0),
+        ("8 cores, 1 instance", 8, 1, 2.0),
+        ("8 cores, 2 instances", 8, 2, 2.0),
+    ] {
+        // The paper doubles the dataset with the core count.
+        let kernels = all_kernels(Scale(scale * data_mult));
+        let base_cfg = SystemConfig::scaled(cores, 0);
+        let dx_cfg = SystemConfig::scaled(cores, instances);
+        let mut speeds = Vec::new();
+        for k in &kernels {
+            eprintln!("{label}: {}", k.name());
+            let b = k.run(Mode::Baseline, &base_cfg, 1);
+            let d = k.run(Mode::Dx100, &dx_cfg, 1);
+            speeds.push(d.stats.speedup_over(&b.stats));
+        }
+        print_geomean(label, &speeds);
+    }
+}

@@ -1,0 +1,31 @@
+//! Diagnostic probe for the all-miss scenarios (not a paper figure).
+use dx100_sim::SystemConfig;
+use dx100_workloads::micro::allmiss::{run_allmiss, Scenario};
+
+fn main() {
+    for (name, s) in [
+        ("worst", Scenario { rbh: 0.0, chi: false, bgi: false }),
+        ("rbh100-nobgi", Scenario { rbh: 1.0, chi: true, bgi: false }),
+        ("best", Scenario { rbh: 1.0, chi: true, bgi: true }),
+    ] {
+        let mut cfg = SystemConfig::paper_dx100();
+        if std::env::var("ONE_TILE").is_ok() {
+            cfg = cfg.with_tile_elems(64 * 1024);
+        }
+        let r = run_allmiss(s, true, &cfg);
+        let d = r.dx100.unwrap();
+        println!(
+            "{name}: cycles={} bw={:.1}% rbh={:.1}% occ={:.2} reads={} coalesced={} reqbuf_stall={} rowtable_stall={} spdreads={}",
+            r.cycles,
+            r.bandwidth_utilization() * 100.0,
+            r.row_buffer_hit_rate() * 100.0,
+            r.request_buffer_occupancy(),
+            d.indirect_line_reads,
+            d.words_coalesced,
+            d.reqbuf_stall_cycles,
+            d.rowtable_stall_cycles,
+            d.stream_line_requests,
+        );
+
+    }
+}

@@ -1,0 +1,16 @@
+//! Debug probe: BFS on the 8-core / 2-instance machine at tiny scale.
+
+use dx100_sim::SystemConfig;
+use dx100_workloads::{all_kernels, Mode, Scale};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03125);
+    let kernels = all_kernels(Scale(scale * 2.0));
+    let k = kernels.iter().find(|k| k.name() == "bfs").unwrap();
+    let cfg = SystemConfig::scaled(8, 2);
+    let r = k.run(Mode::Dx100, &cfg, 1);
+    println!("bfs 8c/2x ok: {} cycles", r.stats.cycles);
+}

@@ -1,0 +1,21 @@
+//! Table 4: DX100 area and power (28 nm synthesis numbers, 14 nm scaling,
+//! and the processor-overhead percentage).
+
+use dx100_core::area::{AreaModel, COMPONENTS};
+
+fn main() {
+    println!("Table 4 — DX100 area and power at 28 nm\n");
+    println!("{:<18} {:>10} {:>10}", "module", "area mm^2", "power mW");
+    for c in COMPONENTS {
+        println!("{:<18} {:>10.3} {:>10.2}", c.name, c.area_mm2, c.power_mw);
+    }
+    let m = AreaModel::paper();
+    println!("{:<18} {:>10.3} {:>10.2}", "Total", m.total_area_28nm_mm2(), m.total_power_28nm_mw());
+    println!();
+    println!("scaled to 14 nm: {:.2} mm^2 (paper: ~1.5)", m.total_area_14nm_mm2());
+    println!(
+        "processor overhead: {:.1}% of a 4-core Skylake (paper: 3.7%)",
+        m.processor_overhead_fraction() * 100.0
+    );
+    println!("dominant component: {}", m.dominant_component().name);
+}

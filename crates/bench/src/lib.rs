@@ -1,0 +1,128 @@
+//! The figure/table harness: runs the paper's workloads on the simulated
+//! machines and prints each figure's rows.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig08a` | All-hit microbenchmark speedups |
+//! | `fig08bc` | All-miss gather speedup + bandwidth vs index order |
+//! | `fig09` | Speedup across the 12 workloads |
+//! | `fig10` | Bandwidth utilization, row-buffer hit rate, occupancy |
+//! | `fig11` | Instruction and MPKI reduction |
+//! | `fig12` | DX100 vs the DMP indirect prefetcher |
+//! | `fig13` | Tile-size sensitivity |
+//! | `fig14` | Core/instance scaling |
+//! | `table4` | Area and power model |
+//! | `ablation` | Reorder/coalesce/interleave/LLC-injection ablations |
+//!
+//! Use `--scale <f>` to trade fidelity for runtime (default 1.0 ≈ seconds
+//! per run; the paper's full sizes would take hours, like the original gem5
+//! artifact's 84).
+
+use dx100_sim::{RunStats, SystemConfig};
+use dx100_workloads::{all_kernels, KernelRun, Mode, Scale, WorkloadResult};
+
+/// Measurements for one kernel across the machines of interest.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Baseline run.
+    pub baseline: WorkloadResult,
+    /// DX100 run.
+    pub dx100: WorkloadResult,
+    /// DMP run (only when requested).
+    pub dmp: Option<WorkloadResult>,
+}
+
+impl KernelRow {
+    /// DX100 speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.dx100.stats.speedup_over(&self.baseline.stats)
+    }
+
+    /// DX100 speedup over DMP.
+    pub fn speedup_vs_dmp(&self) -> Option<f64> {
+        self.dmp
+            .as_ref()
+            .map(|d| self.dx100.stats.speedup_over(&d.stats))
+    }
+}
+
+/// Runs one kernel in the given modes (None = skip DMP).
+pub fn run_kernel_row(kernel: &dyn KernelRun, with_dmp: bool, seed: u64) -> KernelRow {
+    let baseline = kernel.run(Mode::Baseline, &SystemConfig::paper_baseline(), seed);
+    let dx100 = kernel.run(Mode::Dx100, &SystemConfig::paper_dx100(), seed);
+    let dmp = with_dmp.then(|| kernel.run(Mode::Dmp, &SystemConfig::paper_dmp(), seed));
+    KernelRow {
+        name: kernel_name(kernel),
+        baseline,
+        dx100,
+        dmp,
+    }
+}
+
+fn kernel_name(kernel: &dyn KernelRun) -> &'static str {
+    kernel.name()
+}
+
+/// Runs all kernels at `scale`, optionally including DMP.
+pub fn run_all(scale: f64, with_dmp: bool, seed: u64) -> Vec<KernelRow> {
+    all_kernels(Scale(scale))
+        .iter()
+        .map(|k| {
+            eprintln!("running {} ...", k.name());
+            run_kernel_row(k.as_ref(), with_dmp, seed)
+        })
+        .collect()
+}
+
+/// Parses `--scale <f>` from the command line (default 1.0).
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Prints a measurement table row-per-kernel.
+pub fn print_table(header: &[&str], rows: &[(String, Vec<f64>)]) {
+    print!("{:<10}", "kernel");
+    for h in header {
+        print!(" {h:>12}");
+    }
+    println!();
+    for (name, vals) in rows {
+        print!("{name:<10}");
+        for v in vals {
+            print!(" {v:>12.3}");
+        }
+        println!();
+    }
+}
+
+/// Geometric-mean summary line.
+pub fn print_geomean(label: &str, values: &[f64]) {
+    println!(
+        "{label}: geomean {:.2}x over {} kernels",
+        dx100_common::stats::geomean(values),
+        values.len()
+    );
+}
+
+/// Formats the headline stats of one run (debug helper).
+pub fn summarize(name: &str, s: &RunStats) -> String {
+    format!(
+        "{name}: {} cycles, {} instrs, bw {:.1}% ({:.1} GB/s), rbh {:.1}%, occ {:.2}, llc-mpki {:.2}",
+        s.cycles,
+        s.instructions,
+        s.bandwidth_utilization() * 100.0,
+        s.bandwidth_gbps(),
+        s.row_buffer_hit_rate() * 100.0,
+        s.request_buffer_occupancy(),
+        s.llc_mpki()
+    )
+}

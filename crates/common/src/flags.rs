@@ -1,0 +1,93 @@
+//! A board of boolean completion flags used for core ↔ accelerator and
+//! core ↔ core synchronization.
+//!
+//! In the paper, cores poll a scratchpad tile's *ready bit* until DX100 sets
+//! it (the `wait` API, Section 4.1). The flag board is the simulator's
+//! equivalent: workload drivers allocate a flag per synchronization point,
+//! cores block on it with a `WaitFlag` op, and DX100 (or another core) sets
+//! it when the producing instruction retires.
+
+/// Identifier of one flag on a [`FlagBoard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlagId(pub usize);
+
+/// A growable set of boolean flags.
+///
+/// ```
+/// use dx100_common::flags::FlagBoard;
+/// let mut board = FlagBoard::new();
+/// let f = board.alloc();
+/// assert!(!board.get(f));
+/// board.set(f);
+/// assert!(board.get(f));
+/// ```
+#[derive(Debug, Default)]
+pub struct FlagBoard {
+    flags: Vec<bool>,
+}
+
+impl FlagBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new flag, initially clear.
+    pub fn alloc(&mut self) -> FlagId {
+        self.flags.push(false);
+        FlagId(self.flags.len() - 1)
+    }
+
+    /// Reads a flag.
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated on this board.
+    pub fn get(&self, id: FlagId) -> bool {
+        self.flags[id.0]
+    }
+
+    /// Sets a flag.
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated on this board.
+    pub fn set(&mut self, id: FlagId) {
+        self.flags[id.0] = true;
+    }
+
+    /// Clears a flag (tile reuse across loop iterations).
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated on this board.
+    pub fn clear(&mut self, id: FlagId) {
+        self.flags[id.0] = false;
+    }
+
+    /// Number of allocated flags.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether no flags have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_set_clear_round_trip() {
+        let mut b = FlagBoard::new();
+        assert!(b.is_empty());
+        let a = b.alloc();
+        let c = b.alloc();
+        assert_eq!(b.len(), 2);
+        b.set(c);
+        assert!(!b.get(a));
+        assert!(b.get(c));
+        b.clear(c);
+        assert!(!b.get(c));
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared primitives for the DX100 simulator workspace.
+//!
+//! This crate holds the vocabulary types that every other crate in the
+//! reproduction speaks: simulation time ([`Cycle`]), physical/virtual
+//! addresses ([`Addr`], [`LineAddr`]), the accelerator's data types and ALU
+//! operations ([`DType`], [`AluOp`]) together with bit-exact value arithmetic
+//! ([`value`]), a deterministic [`DelayQueue`] used to model fixed-latency
+//! links, and lightweight statistics helpers ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dx100_common::{AluOp, DType, value};
+//!
+//! // 32-bit float addition performed on raw u64 lanes, exactly as the
+//! // accelerator's Word Modifier would.
+//! let a = value::from_f32(1.5);
+//! let b = value::from_f32(2.25);
+//! let sum = value::alu(AluOp::Add, DType::F32, a, b);
+//! assert_eq!(value::to_f32(sum), 3.75);
+//! ```
+
+pub mod flags;
+pub mod queue;
+pub mod stats;
+pub mod types;
+pub mod value;
+
+pub use queue::DelayQueue;
+pub use types::{
+    Addr, AluOp, CoreId, Cycle, DType, LineAddr, ReqId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT,
+};

@@ -1,0 +1,165 @@
+//! A deterministic delay queue for modeling fixed-latency links.
+//!
+//! Components in the timing model (cache-to-cache links, the NoC hop to
+//! DX100, DRAM response wires) deliver messages a fixed number of cycles
+//! after they are sent. [`DelayQueue`] preserves FIFO order among messages
+//! that become ready on the same cycle, which keeps the whole simulation
+//! deterministic.
+
+use std::collections::BinaryHeap;
+
+use crate::types::Cycle;
+
+/// Heap entry: ordered by ready cycle, then by insertion sequence so that
+/// same-cycle messages pop in FIFO order.
+struct Entry<T> {
+    ready_at: Cycle,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_at == other.ready_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (earliest) pops first.
+        (other.ready_at, other.seq).cmp(&(self.ready_at, self.seq))
+    }
+}
+
+/// A queue whose items become visible only once the simulation clock reaches
+/// their ready cycle.
+///
+/// ```
+/// use dx100_common::DelayQueue;
+///
+/// let mut q = DelayQueue::new();
+/// q.push_at(10, "a");
+/// q.push_at(5, "b");
+/// assert_eq!(q.pop_ready(4), None);
+/// assert_eq!(q.pop_ready(5), Some("b"));
+/// assert_eq!(q.pop_ready(5), None);
+/// assert_eq!(q.pop_ready(100), Some("a"));
+/// ```
+pub struct DelayQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> DelayQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` to become ready at absolute cycle `ready_at`.
+    pub fn push_at(&mut self, ready_at: Cycle, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            ready_at,
+            seq,
+            item,
+        });
+    }
+
+    /// Pops the oldest item whose ready cycle is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.ready_at <= now) {
+            Some(self.heap.pop().unwrap().item)
+        } else {
+            None
+        }
+    }
+
+    /// Cycle at which the next item becomes ready, if the queue is non-empty.
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.ready_at)
+    }
+
+    /// Number of queued items (ready or not).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no items at all.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for DelayQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for DelayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayQueue")
+            .field("len", &self.heap.len())
+            .field("next_ready_at", &self.next_ready_at())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_cycles() {
+        let mut q = DelayQueue::new();
+        q.push_at(3, 1);
+        q.push_at(3, 2);
+        q.push_at(3, 3);
+        assert_eq!(q.pop_ready(3), Some(1));
+        assert_eq!(q.pop_ready(3), Some(2));
+        assert_eq!(q.pop_ready(3), Some(3));
+        assert_eq!(q.pop_ready(3), None);
+    }
+
+    #[test]
+    fn respects_ready_time() {
+        let mut q = DelayQueue::new();
+        q.push_at(10, "x");
+        assert!(q.pop_ready(9).is_none());
+        assert_eq!(q.next_ready_at(), Some(10));
+        assert_eq!(q.pop_ready(10), Some("x"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_order() {
+        let mut q = DelayQueue::new();
+        q.push_at(5, "late");
+        q.push_at(1, "early");
+        q.push_at(3, "mid");
+        assert_eq!(q.pop_ready(100), Some("early"));
+        assert_eq!(q.pop_ready(100), Some("mid"));
+        assert_eq!(q.pop_ready(100), Some("late"));
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = DelayQueue::new();
+        assert!(q.is_empty());
+        q.push_at(1, ());
+        q.push_at(2, ());
+        assert_eq!(q.len(), 2);
+        let _ = q.pop_ready(5);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Lightweight statistics helpers shared by every timing component.
+
+/// A running average of a quantity sampled once per cycle (e.g. request
+/// buffer occupancy).
+///
+/// ```
+/// use dx100_common::stats::RunningAverage;
+/// let mut avg = RunningAverage::new();
+/// avg.sample(2.0);
+/// avg.sample(4.0);
+/// assert_eq!(avg.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunningAverage {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningAverage {
+    /// Creates an empty average.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn sample(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all samples, or 0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another average into this one, as if all samples had been
+    /// recorded on a single counter.
+    pub fn merge(&mut self, other: &RunningAverage) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A hit/miss (or success/failure) ratio counter.
+///
+/// ```
+/// use dx100_common::stats::Ratio;
+/// let mut r = Ratio::new();
+/// r.hit();
+/// r.hit();
+/// r.miss();
+/// assert!((r.rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ratio {
+    hits: u64,
+    misses: u64,
+}
+
+impl Ratio {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records `hit` as a boolean outcome.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hit()
+        } else {
+            self.miss()
+        }
+    }
+
+    /// Number of hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total events.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Folds another counter into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
+    /// Hit rate in `[0, 1]`; 0 if no events were recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values, the aggregate the paper uses
+/// for cross-workload speedups. Returns 0 for an empty slice.
+///
+/// ```
+/// use dx100_common::stats::geomean;
+/// assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_average_basic() {
+        let mut a = RunningAverage::new();
+        assert_eq!(a.mean(), 0.0);
+        a.sample(1.0);
+        a.sample(3.0);
+        a.sample(5.0);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn ratio_basic() {
+        let mut r = Ratio::new();
+        assert_eq!(r.rate(), 0.0);
+        r.record(true);
+        r.record(false);
+        r.record(false);
+        r.record(false);
+        assert_eq!(r.hits(), 1);
+        assert_eq!(r.misses(), 3);
+        assert_eq!(r.rate(), 0.25);
+    }
+
+    #[test]
+    fn geomean_matches_definition() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matches_definition() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

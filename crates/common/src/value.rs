@@ -1,0 +1,304 @@
+//! Bit-exact value arithmetic over raw `u64` lanes.
+//!
+//! Scratchpad tiles, ALU lanes, and the Word Modifier all operate on values
+//! stored as `u64` bit patterns whose interpretation is given by a [`DType`].
+//! This module centralizes that arithmetic so the functional model, the timed
+//! model, and the compiler interpreter cannot drift apart.
+
+use crate::types::{AluOp, DType};
+
+/// Reinterpret an `f32` as a value lane (upper 32 bits zero).
+#[inline]
+pub fn from_f32(v: f32) -> u64 {
+    v.to_bits() as u64
+}
+
+/// Reinterpret a value lane as an `f32` (lower 32 bits).
+#[inline]
+pub fn to_f32(v: u64) -> f32 {
+    f32::from_bits(v as u32)
+}
+
+/// Reinterpret an `f64` as a value lane.
+#[inline]
+pub fn from_f64(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Reinterpret a value lane as an `f64`.
+#[inline]
+pub fn to_f64(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+/// Reinterpret an `i32` as a value lane (sign bits truncated to 32).
+#[inline]
+pub fn from_i32(v: i32) -> u64 {
+    v as u32 as u64
+}
+
+/// Reinterpret a value lane as an `i32`.
+#[inline]
+pub fn to_i32(v: u64) -> i32 {
+    v as u32 as i32
+}
+
+/// Reinterpret an `i64` as a value lane.
+#[inline]
+pub fn from_i64(v: i64) -> u64 {
+    v as u64
+}
+
+/// Reinterpret a value lane as an `i64`.
+#[inline]
+pub fn to_i64(v: u64) -> i64 {
+    v as i64
+}
+
+/// Truncate a lane to the width of `dtype` (upper bits of 32-bit types are
+/// cleared, exactly as a 4-byte scratchpad word would store them).
+#[inline]
+pub fn truncate(dtype: DType, v: u64) -> u64 {
+    if dtype.size_bytes() == 4 {
+        v & 0xffff_ffff
+    } else {
+        v
+    }
+}
+
+/// Read a value of `dtype` from a little-endian byte buffer at `offset`.
+///
+/// # Panics
+/// Panics if `offset + dtype.size_bytes()` exceeds `buf.len()`.
+#[inline]
+pub fn read_le(dtype: DType, buf: &[u8], offset: usize) -> u64 {
+    match dtype.size_bytes() {
+        4 => u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as u64,
+        8 => u64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap()),
+        _ => unreachable!(),
+    }
+}
+
+/// Write a value of `dtype` to a little-endian byte buffer at `offset`.
+///
+/// # Panics
+/// Panics if `offset + dtype.size_bytes()` exceeds `buf.len()`.
+#[inline]
+pub fn write_le(dtype: DType, buf: &mut [u8], offset: usize, v: u64) {
+    match dtype.size_bytes() {
+        4 => buf[offset..offset + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+        8 => buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes()),
+        _ => unreachable!(),
+    }
+}
+
+/// Apply a binary ALU operation to two lanes interpreted as `dtype`.
+///
+/// Comparison operations return 0 or 1 regardless of `dtype`. Integer
+/// arithmetic wraps. Shift counts are masked to the type width, matching
+/// hardware shifters.
+///
+/// # Panics
+/// Panics if an integer-only operation ([`AluOp::is_integer_only`]) is applied
+/// to a floating-point `dtype`; the ISA makes such instructions illegal and
+/// the controller rejects them before they reach an ALU lane.
+pub fn alu(op: AluOp, dtype: DType, a: u64, b: u64) -> u64 {
+    assert!(
+        !(op.is_integer_only() && dtype.is_float()),
+        "ALU op {op} is illegal on floating-point type {dtype}"
+    );
+    match dtype {
+        DType::U32 => alu_u32(op, a as u32, b as u32),
+        DType::I32 => alu_i32(op, to_i32(a), to_i32(b)),
+        DType::F32 => alu_f32(op, to_f32(a), to_f32(b)),
+        DType::U64 => alu_u64(op, a, b),
+        DType::I64 => alu_i64(op, to_i64(a), to_i64(b)),
+        DType::F64 => alu_f64(op, to_f64(a), to_f64(b)),
+    }
+}
+
+fn alu_u32(op: AluOp, a: u32, b: u32) -> u64 {
+    let r: u32 = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shr => a >> (b & 31),
+        AluOp::Shl => a << (b & 31),
+        AluOp::Lt => return (a < b) as u64,
+        AluOp::Le => return (a <= b) as u64,
+        AluOp::Gt => return (a > b) as u64,
+        AluOp::Ge => return (a >= b) as u64,
+        AluOp::Eq => return (a == b) as u64,
+    };
+    r as u64
+}
+
+fn alu_i32(op: AluOp, a: i32, b: i32) -> u64 {
+    let r: i32 = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shr => ((a as u32) >> (b as u32 & 31)) as i32,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 31),
+        AluOp::Lt => return (a < b) as u64,
+        AluOp::Le => return (a <= b) as u64,
+        AluOp::Gt => return (a > b) as u64,
+        AluOp::Ge => return (a >= b) as u64,
+        AluOp::Eq => return (a == b) as u64,
+    };
+    from_i32(r)
+}
+
+fn alu_u64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shr => a >> (b & 63),
+        AluOp::Shl => a << (b & 63),
+        AluOp::Lt => (a < b) as u64,
+        AluOp::Le => (a <= b) as u64,
+        AluOp::Gt => (a > b) as u64,
+        AluOp::Ge => (a >= b) as u64,
+        AluOp::Eq => (a == b) as u64,
+    }
+}
+
+fn alu_i64(op: AluOp, a: i64, b: i64) -> u64 {
+    let r: i64 = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+        AluOp::Lt => return (a < b) as u64,
+        AluOp::Le => return (a <= b) as u64,
+        AluOp::Gt => return (a > b) as u64,
+        AluOp::Ge => return (a >= b) as u64,
+        AluOp::Eq => return (a == b) as u64,
+    };
+    from_i64(r)
+}
+
+fn alu_f32(op: AluOp, a: f32, b: f32) -> u64 {
+    let r: f32 = match op {
+        AluOp::Add => a + b,
+        AluOp::Sub => a - b,
+        AluOp::Mul => a * b,
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::Lt => return (a < b) as u64,
+        AluOp::Le => return (a <= b) as u64,
+        AluOp::Gt => return (a > b) as u64,
+        AluOp::Ge => return (a >= b) as u64,
+        AluOp::Eq => return (a == b) as u64,
+        _ => unreachable!("integer-only op on f32 rejected by caller"),
+    };
+    from_f32(r)
+}
+
+fn alu_f64(op: AluOp, a: f64, b: f64) -> u64 {
+    let r: f64 = match op {
+        AluOp::Add => a + b,
+        AluOp::Sub => a - b,
+        AluOp::Mul => a * b,
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::Lt => return (a < b) as u64,
+        AluOp::Le => return (a <= b) as u64,
+        AluOp::Gt => return (a > b) as u64,
+        AluOp::Ge => return (a >= b) as u64,
+        AluOp::Eq => return (a == b) as u64,
+        _ => unreachable!("integer-only op on f64 rejected by caller"),
+    };
+    from_f64(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trips() {
+        assert_eq!(to_f32(from_f32(3.5)), 3.5);
+        assert_eq!(to_f64(from_f64(-2.25)), -2.25);
+        assert_eq!(to_i32(from_i32(-7)), -7);
+        assert_eq!(to_i64(from_i64(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn u32_arithmetic_wraps() {
+        assert_eq!(alu(AluOp::Add, DType::U32, u32::MAX as u64, 1), 0);
+        assert_eq!(alu(AluOp::Sub, DType::U32, 0, 1), u32::MAX as u64);
+        assert_eq!(alu(AluOp::Mul, DType::U32, 3, 5), 15);
+    }
+
+    #[test]
+    fn i32_sign_handling() {
+        assert_eq!(to_i32(alu(AluOp::Add, DType::I32, from_i32(-3), from_i32(1))), -2);
+        assert_eq!(alu(AluOp::Lt, DType::I32, from_i32(-1), from_i32(0)), 1);
+        // As unsigned the same comparison would be 0.
+        assert_eq!(alu(AluOp::Lt, DType::U32, from_i32(-1), from_i32(0)), 0);
+    }
+
+    #[test]
+    fn float_min_max() {
+        assert_eq!(to_f32(alu(AluOp::Min, DType::F32, from_f32(2.0), from_f32(-1.0))), -1.0);
+        assert_eq!(to_f64(alu(AluOp::Max, DType::F64, from_f64(2.0), from_f64(7.5))), 7.5);
+    }
+
+    #[test]
+    fn comparisons_produce_booleans() {
+        for (op, expect) in [(AluOp::Lt, 1), (AluOp::Le, 1), (AluOp::Gt, 0), (AluOp::Ge, 0), (AluOp::Eq, 0)] {
+            assert_eq!(alu(op, DType::U64, 3, 4), expect, "{op}");
+        }
+        assert_eq!(alu(AluOp::Eq, DType::F32, from_f32(1.0), from_f32(1.0)), 1);
+    }
+
+    #[test]
+    fn shifts_mask_counts() {
+        assert_eq!(alu(AluOp::Shl, DType::U32, 1, 33), 2); // 33 & 31 == 1
+        assert_eq!(alu(AluOp::Shr, DType::U64, 8, 67), 1); // 67 & 63 == 3
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal on floating-point")]
+    fn integer_op_on_float_panics() {
+        let _ = alu(AluOp::And, DType::F32, 1, 1);
+    }
+
+    #[test]
+    fn le_buffer_round_trip() {
+        let mut buf = [0u8; 16];
+        write_le(DType::U32, &mut buf, 4, 0xdead_beef);
+        assert_eq!(read_le(DType::U32, &buf, 4), 0xdead_beef);
+        write_le(DType::F64, &mut buf, 8, from_f64(1.5));
+        assert_eq!(to_f64(read_le(DType::F64, &buf, 8)), 1.5);
+    }
+
+    #[test]
+    fn truncate_clears_high_bits() {
+        assert_eq!(truncate(DType::U32, 0x1_0000_0001), 1);
+        assert_eq!(truncate(DType::U64, 0x1_0000_0001), 0x1_0000_0001);
+    }
+}

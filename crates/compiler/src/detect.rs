@@ -1,0 +1,347 @@
+//! Indirect-access detection: the use-def DFS of Section 4.2.
+//!
+//! Starting from the loop induction variable, the pass walks expression
+//! trees (use-def chains in SSA terms; our IR inlines single-assignment
+//! temporaries first) and flags every array access whose index itself
+//! contains a load — `A[B[i]]`, `A[B[C[i]]]`, `A[(C[i] & m) >> s]`.
+
+use crate::ir::{ArrayId, Expr, Loop, Stmt, VarId};
+
+/// How an indirect access is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Appears as a load in an expression.
+    Load,
+    /// Target of a `Store`.
+    Store,
+    /// Target of an `Rmw`.
+    Rmw,
+}
+
+/// One detected indirect access.
+#[derive(Debug, Clone)]
+pub struct IndirectAccess {
+    /// How the access is used.
+    pub kind: AccessKind,
+    /// The accessed array (`A` in `A[B[i]]`).
+    pub array: ArrayId,
+    /// The full index expression (contains at least one `Load`).
+    pub index: Expr,
+    /// Levels of indirection (1 for `A[B[i]]`, 2 for `A[B[C[i]]]`).
+    pub depth: usize,
+}
+
+/// Depth of load nesting within an expression (0 = no loads).
+pub fn load_depth(e: &Expr) -> usize {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => 0,
+        Expr::Load(_, i) => 1 + load_depth(i),
+        Expr::Bin(_, a, b) => load_depth(a).max(load_depth(b)),
+        Expr::BufRead(_, i) => load_depth(i),
+    }
+}
+
+/// Whether an index expression makes the access *indirect*: it contains a
+/// load that (transitively) depends on the induction variable.
+pub fn is_indirect_index(index: &Expr, iv: VarId) -> bool {
+    fn has_iv_load(e: &Expr, iv: VarId) -> bool {
+        match e {
+            Expr::Load(_, i) => i.uses_var(iv) || has_iv_load(i, iv),
+            Expr::Bin(_, a, b) => has_iv_load(a, iv) || has_iv_load(b, iv),
+            Expr::BufRead(_, i) => has_iv_load(i, iv),
+            _ => false,
+        }
+    }
+    has_iv_load(index, iv)
+}
+
+/// Inlines single-assignment temporaries so use-def chains become explicit
+/// expression trees. A temporary qualifies if it is assigned exactly once in
+/// the body and only read *after* that assignment (no loop-carried use).
+pub fn inline_temps(body: &[Stmt]) -> Vec<Stmt> {
+    // Map of var → defining expression, built in order; substitution is
+    // applied eagerly to later statements.
+    let mut defs: Vec<(VarId, Expr)> = Vec::new();
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Assign(v, e) => {
+                let inlined = subst_expr(e, &defs);
+                // Redefinition invalidates the earlier inline (conservative:
+                // keep the latest).
+                defs.retain(|(dv, _)| dv != v);
+                defs.push((*v, inlined));
+            }
+            other => out.push(subst_stmt(other, &defs)),
+        }
+    }
+    out
+}
+
+fn subst_expr(e: &Expr, defs: &[(VarId, Expr)]) -> Expr {
+    match e {
+        Expr::Var(v) => defs
+            .iter()
+            .rev()
+            .find(|(dv, _)| dv == v)
+            .map(|(_, de)| de.clone())
+            .unwrap_or(Expr::Var(*v)),
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Load(a, i) => Expr::Load(*a, Box::new(subst_expr(i, defs))),
+        Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(subst_expr(a, defs)), Box::new(subst_expr(b, defs))),
+        Expr::BufRead(b, i) => Expr::BufRead(*b, Box::new(subst_expr(i, defs))),
+    }
+}
+
+fn subst_stmt(s: &Stmt, defs: &[(VarId, Expr)]) -> Stmt {
+    match s {
+        Stmt::Store(a, i, v) => Stmt::Store(*a, subst_expr(i, defs), subst_expr(v, defs)),
+        Stmt::Rmw(a, i, op, v) => Stmt::Rmw(*a, subst_expr(i, defs), *op, subst_expr(v, defs)),
+        Stmt::Assign(v, e) => Stmt::Assign(*v, subst_expr(e, defs)),
+        Stmt::If(c, body) => Stmt::If(
+            subst_expr(c, defs),
+            body.iter().map(|s| subst_stmt(s, defs)).collect(),
+        ),
+        Stmt::For(l) => Stmt::For(Loop {
+            iv: l.iv,
+            lo: subst_expr(&l.lo, defs),
+            hi: subst_expr(&l.hi, defs),
+            body: l.body.iter().map(|s| subst_stmt(s, defs)).collect(),
+        }),
+        Stmt::BufWrite(b, off, v) => {
+            Stmt::BufWrite(*b, subst_expr(off, defs), subst_expr(v, defs))
+        }
+    }
+}
+
+/// Detects every indirect access in a loop (after temp inlining).
+pub fn detect(l: &Loop) -> Vec<IndirectAccess> {
+    let body = inline_temps(&l.body);
+    let mut found = Vec::new();
+    for s in &body {
+        detect_stmt(s, l.iv, &mut found);
+    }
+    found
+}
+
+fn detect_stmt(s: &Stmt, iv: VarId, out: &mut Vec<IndirectAccess>) {
+    match s {
+        Stmt::Store(a, i, v) => {
+            if is_indirect_index(i, iv) {
+                out.push(IndirectAccess {
+                    kind: AccessKind::Store,
+                    array: *a,
+                    index: i.clone(),
+                    depth: load_depth(i),
+                });
+            }
+            detect_expr(i, iv, out);
+            detect_expr(v, iv, out);
+        }
+        Stmt::Rmw(a, i, _, v) => {
+            if is_indirect_index(i, iv) {
+                out.push(IndirectAccess {
+                    kind: AccessKind::Rmw,
+                    array: *a,
+                    index: i.clone(),
+                    depth: load_depth(i),
+                });
+            }
+            detect_expr(i, iv, out);
+            detect_expr(v, iv, out);
+        }
+        Stmt::Assign(_, e) => detect_expr(e, iv, out),
+        Stmt::If(c, body) => {
+            detect_expr(c, iv, out);
+            for s in body {
+                detect_stmt(s, iv, out);
+            }
+        }
+        Stmt::For(inner) => {
+            detect_expr(&inner.lo, iv, out);
+            detect_expr(&inner.hi, iv, out);
+            for s in &inner.body {
+                detect_stmt(s, iv, out);
+            }
+        }
+        Stmt::BufWrite(_, off, v) => {
+            detect_expr(off, iv, out);
+            detect_expr(v, iv, out);
+        }
+    }
+}
+
+fn detect_expr(e: &Expr, iv: VarId, out: &mut Vec<IndirectAccess>) {
+    match e {
+        Expr::Load(a, i) => {
+            if is_indirect_index(i, iv) {
+                out.push(IndirectAccess {
+                    kind: AccessKind::Load,
+                    array: *a,
+                    index: (**i).clone(),
+                    depth: load_depth(i),
+                });
+            }
+            detect_expr(i, iv, out);
+        }
+        Expr::Bin(_, a, b) => {
+            detect_expr(a, iv, out);
+            detect_expr(b, iv, out);
+        }
+        Expr::BufRead(_, i) => detect_expr(i, iv, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Program};
+
+    fn gather_loop(p: &mut Program) -> Loop {
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let c = p.array("C", 4);
+        let i = p.var();
+        Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        }
+    }
+
+    #[test]
+    fn detects_single_level_gather() {
+        let mut p = Program::new();
+        let l = gather_loop(&mut p);
+        let found = detect(&l);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AccessKind::Load);
+        assert_eq!(found[0].array, 0);
+        assert_eq!(found[0].depth, 1);
+    }
+
+    #[test]
+    fn detects_two_level_indirection() {
+        // A[B[C[i]]]
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 8);
+        let c = p.array("C", 4);
+        let s = p.array("S", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(
+                s,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::load(c, Expr::Var(i)))),
+            )],
+        };
+        let found = detect(&l);
+        // Both A[B[C[i]]] (depth 2) and B[C[i]] (depth 1) are indirect.
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].depth, 2);
+        assert_eq!(found[1].depth, 1);
+    }
+
+    #[test]
+    fn streaming_access_not_flagged() {
+        // C[i] = A[i + 4]: affine, not indirect.
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let c = p.array("C", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(4))),
+            )],
+        };
+        assert!(detect(&l).is_empty());
+    }
+
+    #[test]
+    fn temp_inlining_exposes_chain() {
+        // t = B[i]; A[t] += 1  — indirection through a temporary.
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let i = p.var();
+        let t = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![
+                Stmt::Assign(t, Expr::load(b, Expr::Var(i))),
+                Stmt::Rmw(a, Expr::Var(t), crate::ir::RmwOp::Add, Expr::Const(1)),
+            ],
+        };
+        let found = detect(&l);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AccessKind::Rmw);
+        assert_eq!(found[0].array, a);
+    }
+
+    #[test]
+    fn hash_style_address_calc_detected() {
+        // A[(C[i] & 255) >> 4] = i  (PRH/PRO pattern)
+        let mut p = Program::new();
+        let a = p.array("A", 64);
+        let c = p.array("C", 4);
+        let i = p.var();
+        let idx = Expr::bin(
+            BinOp::Shr,
+            Expr::bin(BinOp::And, Expr::load(c, Expr::Var(i)), Expr::Const(255)),
+            Expr::Const(4),
+        );
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(a, idx, Expr::Var(i))],
+        };
+        let found = detect(&l);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn conditional_access_detected() {
+        // if (D[i] >= 1) { x = A[B[i]] ... }
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let d = p.array("D", 4);
+        let s = p.array("S", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::If(
+                Expr::bin(BinOp::Ge, Expr::load(d, Expr::Var(i)), Expr::Const(1)),
+                vec![Stmt::Store(
+                    s,
+                    Expr::Var(i),
+                    Expr::load(a, Expr::load(b, Expr::Var(i))),
+                )],
+            )],
+        };
+        let found = detect(&l);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].array, a);
+    }
+}

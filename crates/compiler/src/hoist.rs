@@ -1,0 +1,420 @@
+//! Hoisting and sinking (paper Figure 7(c)): indirect loads move into
+//! `packed_load` ops *before* the loop, indirect stores/RMWs sink into
+//! `packed_store`/`packed_rmw` ops *after* it. The residual loop exchanges
+//! data with the packed ops through per-iteration buffers (the paper's
+//! `enqueue`/`dequeue`).
+
+use crate::detect::{inline_temps, is_indirect_index};
+use crate::ir::{ArrayId, Expr, Loop, RmwOp, Stmt, VarId};
+use crate::legality::{check, Illegal};
+
+/// An index expression as a function of the loop induction variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSpec {
+    /// The induction variable the expression is parameterized over.
+    pub iv: VarId,
+    /// The index expression (may contain loads: that is the point).
+    pub expr: Expr,
+}
+
+/// A bulk memory operation hoisted out of (or sunk below) the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedOp {
+    /// Gather `array[index(i)]` for every iteration into `buf`.
+    Load {
+        /// Gathered array.
+        array: ArrayId,
+        /// Per-iteration index.
+        index: IndexSpec,
+        /// Destination buffer.
+        buf: usize,
+    },
+    /// Scatter `buf` values to `array[index(i)]`, gated by `cond_buf`.
+    Store {
+        /// Target array.
+        array: ArrayId,
+        /// Per-iteration index.
+        index: IndexSpec,
+        /// Value buffer (filled by the residual loop).
+        value_buf: usize,
+        /// Optional 0/1 gate buffer.
+        cond_buf: Option<usize>,
+    },
+    /// Read-modify-write `array[index(i)] op= buf[i]`, gated by `cond_buf`.
+    Rmw {
+        /// Target array.
+        array: ArrayId,
+        /// Per-iteration index.
+        index: IndexSpec,
+        /// Update operator.
+        op: RmwOp,
+        /// Value buffer.
+        value_buf: usize,
+        /// Optional gate buffer.
+        cond_buf: Option<usize>,
+    },
+    /// Evaluate a per-iteration scalar expression into a buffer (address
+    /// calculations and conditions offloaded to the accelerator ALU).
+    EvalToBuf {
+        /// Expression of `iv`.
+        expr: Expr,
+        /// Induction variable.
+        iv: VarId,
+        /// Destination buffer.
+        buf: usize,
+    },
+}
+
+/// The result of hoisting one loop.
+#[derive(Debug, Clone)]
+pub struct TransformedLoop {
+    /// Original induction variable.
+    pub iv: VarId,
+    /// Fresh variable holding `i - tile_lo` (buffer offset).
+    pub tile_offset_var: VarId,
+    /// Number of buffers allocated.
+    pub num_bufs: usize,
+    /// Packed loads executed before the residual loop.
+    pub prologue: Vec<PackedOp>,
+    /// The residual loop body (buffer reads/writes instead of indirect
+    /// accesses).
+    pub body: Vec<Stmt>,
+    /// Packed stores/RMWs executed after the residual loop.
+    pub epilogue: Vec<PackedOp>,
+}
+
+struct Hoister {
+    iv: VarId,
+    off: VarId,
+    prologue: Vec<PackedOp>,
+    epilogue: Vec<PackedOp>,
+    /// Dedup of hoisted loads: (array, index expr) → buffer.
+    load_bufs: Vec<(ArrayId, Expr, usize)>,
+    num_bufs: usize,
+}
+
+impl Hoister {
+    fn alloc_buf(&mut self) -> usize {
+        self.num_bufs += 1;
+        self.num_bufs - 1
+    }
+
+    /// Rewrites an expression, hoisting indirect loads into packed loads.
+    fn rewrite(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Load(a, idx) if is_indirect_index(idx, self.iv) => {
+                let idx_rewritten = (**idx).clone();
+                // Reuse an existing packed load for the same (array, index).
+                if let Some((_, _, buf)) = self
+                    .load_bufs
+                    .iter()
+                    .find(|(arr, ix, _)| arr == a && *ix == idx_rewritten)
+                {
+                    return Expr::BufRead(*buf, Box::new(Expr::Var(self.off)));
+                }
+                let buf = self.alloc_buf();
+                self.load_bufs.push((*a, idx_rewritten.clone(), buf));
+                self.prologue.push(PackedOp::Load {
+                    array: *a,
+                    index: IndexSpec {
+                        iv: self.iv,
+                        expr: idx_rewritten,
+                    },
+                    buf,
+                });
+                Expr::BufRead(buf, Box::new(Expr::Var(self.off)))
+            }
+            Expr::Load(a, idx) => Expr::Load(*a, Box::new(self.rewrite(idx))),
+            Expr::Bin(op, x, y) => {
+                Expr::Bin(*op, Box::new(self.rewrite(x)), Box::new(self.rewrite(y)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Transforms statements; `cond_buf` is the gate buffer of the enclosing
+    /// `If`, when inside one.
+    fn stmts(&mut self, body: &[Stmt], cond_buf: Option<usize>) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for s in body {
+            match s {
+                Stmt::Store(a, idx, v) if is_indirect_index(idx, self.iv) => {
+                    let v2 = self.rewrite(v);
+                    let value_buf = self.alloc_buf();
+                    out.push(Stmt::BufWrite(value_buf, Expr::Var(self.off), v2));
+                    self.epilogue.push(PackedOp::Store {
+                        array: *a,
+                        index: IndexSpec {
+                            iv: self.iv,
+                            expr: idx.clone(),
+                        },
+                        value_buf,
+                        cond_buf,
+                    });
+                }
+                Stmt::Rmw(a, idx, op, v) if is_indirect_index(idx, self.iv) => {
+                    let v2 = self.rewrite(v);
+                    let value_buf = self.alloc_buf();
+                    out.push(Stmt::BufWrite(value_buf, Expr::Var(self.off), v2));
+                    self.epilogue.push(PackedOp::Rmw {
+                        array: *a,
+                        index: IndexSpec {
+                            iv: self.iv,
+                            expr: idx.clone(),
+                        },
+                        op: *op,
+                        value_buf,
+                        cond_buf,
+                    });
+                }
+                Stmt::Store(a, idx, v) => {
+                    out.push(Stmt::Store(*a, self.rewrite(idx), self.rewrite(v)));
+                }
+                Stmt::Rmw(a, idx, op, v) => {
+                    out.push(Stmt::Rmw(*a, self.rewrite(idx), *op, self.rewrite(v)));
+                }
+                Stmt::Assign(v, e) => out.push(Stmt::Assign(*v, self.rewrite(e))),
+                Stmt::If(c, inner) => {
+                    let c2 = self.rewrite(c);
+                    // Record the gate for sunk stores inside this If. Nested
+                    // Ifs with sinks would need conjunction; inner sinks
+                    // under a second gate are left in place (conservative).
+                    let gate = if cond_buf.is_none() {
+                        let cb = self.alloc_buf();
+                        out.push(Stmt::BufWrite(cb, Expr::Var(self.off), c2.clone()));
+                        Some(cb)
+                    } else {
+                        None
+                    };
+                    let inner2 = match gate {
+                        Some(cb) => self.stmts(inner, Some(cb)),
+                        // Conservative: no further sinking under nested gates.
+                        None => inner.to_vec(),
+                    };
+                    out.push(Stmt::If(c2, inner2));
+                }
+                Stmt::For(inner) => {
+                    // Nested loops are left untouched (range loops take the
+                    // dedicated RNG path in `lower`).
+                    out.push(Stmt::For(inner.clone()));
+                }
+                Stmt::BufWrite(b, i, v) => {
+                    out.push(Stmt::BufWrite(*b, self.rewrite(i), self.rewrite(v)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Hoists a legal loop. See the module docs.
+///
+/// # Errors
+/// Propagates [`Illegal`] from the legality check.
+pub fn hoist(l: &Loop, fresh: &mut dyn FnMut() -> VarId) -> Result<TransformedLoop, Illegal> {
+    check(l)?;
+    let body = inline_temps(&l.body);
+    let off = fresh();
+    let mut h = Hoister {
+        iv: l.iv,
+        off,
+        prologue: Vec::new(),
+        epilogue: Vec::new(),
+        load_bufs: Vec::new(),
+        num_bufs: 0,
+    };
+    let residual = h.stmts(&body, None);
+    Ok(TransformedLoop {
+        iv: l.iv,
+        tile_offset_var: off,
+        num_bufs: h.num_bufs,
+        prologue: h.prologue,
+        body: residual,
+        epilogue: h.epilogue,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Env;
+    use crate::ir::{BinOp, Program};
+    use crate::tile::static_tiles;
+
+    /// Runs original vs transformed (tile by tile) and compares arrays.
+    fn check_equivalence(p: &Program, l: &Loop, tile: i64) {
+        let mut p2 = p.clone();
+        let t = hoist(l, &mut || p2.var()).expect("legal loop");
+        let mut env1 = Env::for_program(&p2);
+        // Deterministic non-trivial contents.
+        for (ai, arr) in env1.arrays.iter_mut().enumerate() {
+            for (i, v) in arr.iter_mut().enumerate() {
+                *v = ((i * 7 + ai * 13) % 11) as i64;
+            }
+        }
+        let mut env2 = env1.clone();
+        env1.exec(&Stmt::For(l.clone()));
+        let (Expr::Const(lo), Expr::Const(hi)) = (&l.lo, &l.hi) else {
+            panic!("test loops use constant bounds");
+        };
+        for (tl, th) in static_tiles(*lo, *hi, tile) {
+            env2.exec_transformed_tile(&t, tl, th);
+        }
+        assert_eq!(env1.arrays, env2.arrays);
+    }
+
+    fn index_arrays_in_bounds(env_len: usize, idx: &mut [i64]) {
+        for (i, v) in idx.iter_mut().enumerate() {
+            *v = ((i * 5 + 3) % env_len) as i64;
+        }
+    }
+
+    #[test]
+    fn gather_hoists_one_packed_load() {
+        let mut p = Program::new();
+        let a = p.array("A", 11);
+        let b = p.array("B", 16);
+        let c = p.array("C", 16);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(16),
+            body: vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        };
+        let mut p2 = p.clone();
+        let t = hoist(&l, &mut || p2.var()).unwrap();
+        assert_eq!(t.prologue.len(), 1);
+        assert!(t.epilogue.is_empty());
+        assert!(matches!(t.prologue[0], PackedOp::Load { array, .. } if array == a));
+        let _ = index_arrays_in_bounds;
+        check_equivalence(&p, &l, 4);
+    }
+
+    #[test]
+    fn scatter_sinks_packed_store() {
+        // A[B[i]] = C[i] * 2
+        let mut p = Program::new();
+        let a = p.array("A", 11);
+        let b = p.array("B", 16);
+        let c = p.array("C", 16);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(16),
+            body: vec![Stmt::Store(
+                a,
+                Expr::load(b, Expr::Var(i)),
+                Expr::bin(BinOp::Mul, Expr::load(c, Expr::Var(i)), Expr::Const(2)),
+            )],
+        };
+        let mut p2 = p.clone();
+        let t = hoist(&l, &mut || p2.var()).unwrap();
+        assert_eq!(t.epilogue.len(), 1);
+        assert!(matches!(t.epilogue[0], PackedOp::Store { cond_buf: None, .. }));
+        check_equivalence(&p, &l, 8);
+    }
+
+    #[test]
+    fn conditional_rmw_sinks_with_gate() {
+        // if (D[i] >= 5) A[B[i]] += C[i]
+        let mut p = Program::new();
+        let a = p.array("A", 11);
+        let b = p.array("B", 16);
+        let c = p.array("C", 16);
+        let d = p.array("D", 16);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(16),
+            body: vec![Stmt::If(
+                Expr::bin(BinOp::Ge, Expr::load(d, Expr::Var(i)), Expr::Const(5)),
+                vec![Stmt::Rmw(
+                    a,
+                    Expr::load(b, Expr::Var(i)),
+                    RmwOp::Add,
+                    Expr::load(c, Expr::Var(i)),
+                )],
+            )],
+        };
+        let mut p2 = p.clone();
+        let t = hoist(&l, &mut || p2.var()).unwrap();
+        assert!(matches!(
+            t.epilogue.first(),
+            Some(PackedOp::Rmw { cond_buf: Some(_), .. })
+        ));
+        check_equivalence(&p, &l, 4);
+    }
+
+    #[test]
+    fn duplicate_loads_share_one_buffer() {
+        // C[i] = A[B[i]] + A[B[i]]
+        let mut p = Program::new();
+        let a = p.array("A", 11);
+        let b = p.array("B", 16);
+        let c = p.array("C", 16);
+        let i = p.var();
+        let gathered = Expr::load(a, Expr::load(b, Expr::Var(i)));
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(16),
+            body: vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::bin(BinOp::Add, gathered.clone(), gathered),
+            )],
+        };
+        let mut p2 = p.clone();
+        let t = hoist(&l, &mut || p2.var()).unwrap();
+        assert_eq!(t.prologue.len(), 1, "identical loads must share a buffer");
+        check_equivalence(&p, &l, 16);
+    }
+
+    #[test]
+    fn illegal_loop_propagates_error() {
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 8);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(8),
+            body: vec![Stmt::Store(
+                a,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        };
+        assert!(hoist(&l, &mut || p.var()).is_err());
+    }
+
+    #[test]
+    fn two_level_indirection_round_trips() {
+        // S[i] = A[B[C[i]]]
+        let mut p = Program::new();
+        let a = p.array("A", 11);
+        let b = p.array("B", 11);
+        let c = p.array("C", 16);
+        let s = p.array("S", 16);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(16),
+            body: vec![Stmt::Store(
+                s,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::load(c, Expr::Var(i)))),
+            )],
+        };
+        check_equivalence(&p, &l, 8);
+    }
+}

@@ -1,0 +1,281 @@
+//! Reference interpreter for the loop IR, plus execution of transformed
+//! loops (packed ops + residual body). The equivalence of the two is the
+//! compiler's correctness criterion, property-tested in `tests/`.
+
+use crate::hoist::{PackedOp, TransformedLoop};
+use crate::ir::{Expr, Program, Stmt};
+
+/// Machine state: scalar variables and array contents.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// Scalar variables.
+    pub vars: Vec<i64>,
+    /// Array contents.
+    pub arrays: Vec<Vec<i64>>,
+    /// Packed buffers (filled by hoisted packed loads).
+    pub bufs: Vec<Vec<i64>>,
+}
+
+impl Env {
+    /// Creates a zeroed environment for `program`.
+    pub fn for_program(program: &Program) -> Self {
+        Env {
+            vars: vec![0; program.num_vars],
+            arrays: program.arrays.iter().map(|a| vec![0; a.len]).collect(),
+            bufs: Vec::new(),
+        }
+    }
+
+    /// Evaluates an expression.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds array accesses (program bugs).
+    pub fn eval(&self, e: &Expr) -> i64 {
+        match e {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => self.vars[*v],
+            Expr::Load(a, i) => {
+                let idx = self.eval(i);
+                self.arrays[*a][idx as usize]
+            }
+            Expr::Bin(op, a, b) => op.eval(self.eval(a), self.eval(b)),
+            Expr::BufRead(b, i) => {
+                let idx = self.eval(i);
+                self.bufs[*b][idx as usize]
+            }
+        }
+    }
+
+    /// Executes one statement.
+    pub fn exec(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Store(a, i, v) => {
+                let idx = self.eval(i) as usize;
+                let val = self.eval(v);
+                self.arrays[*a][idx] = val;
+            }
+            Stmt::Rmw(a, i, op, v) => {
+                let idx = self.eval(i) as usize;
+                let val = self.eval(v);
+                let old = self.arrays[*a][idx];
+                self.arrays[*a][idx] = op.eval(old, val);
+            }
+            Stmt::Assign(v, e) => {
+                self.vars[*v] = self.eval(e);
+            }
+            Stmt::If(c, body) => {
+                if self.eval(c) != 0 {
+                    for s in body {
+                        self.exec(s);
+                    }
+                }
+            }
+            Stmt::For(l) => {
+                let lo = self.eval(&l.lo);
+                let hi = self.eval(&l.hi);
+                for i in lo..hi {
+                    self.vars[l.iv] = i;
+                    for s in &l.body {
+                        self.exec(s);
+                    }
+                }
+            }
+            Stmt::BufWrite(b, off, v) => {
+                let off = self.eval(off) as usize;
+                let val = self.eval(v);
+                self.bufs[*b][off] = val;
+            }
+        }
+    }
+
+    /// Runs a whole program body.
+    pub fn run(&mut self, program: &Program) {
+        for s in &program.body {
+            self.exec(s);
+        }
+    }
+
+    /// Executes one tile of a transformed loop: prologue packed ops, the
+    /// residual body over `lo..hi`, then epilogue packed ops — the
+    /// functional semantics of the DX100 offload.
+    pub fn exec_transformed_tile(&mut self, t: &TransformedLoop, lo: i64, hi: i64) {
+        self.bufs = vec![Vec::new(); t.num_bufs];
+        // Prologue: packed loads gather into buffers.
+        for op in &t.prologue {
+            self.exec_packed(op, lo, hi);
+        }
+        // Zero-fill buffers the residual loop writes (enqueue targets).
+        let tile_len = (hi - lo).max(0) as usize;
+        for b in &mut self.bufs {
+            if b.is_empty() {
+                b.resize(tile_len, 0);
+            }
+        }
+        // Residual loop.
+        for i in lo..hi {
+            self.vars[t.iv] = i;
+            // Buffer index is the iteration offset within the tile.
+            self.vars[t.tile_offset_var] = i - lo;
+            for s in &t.body {
+                self.exec(s);
+            }
+        }
+        // Epilogue: packed stores / RMWs scatter from buffers.
+        for op in &t.epilogue {
+            self.exec_packed(op, lo, hi);
+        }
+    }
+
+    /// Executes one packed op over iterations `lo..hi`.
+    fn exec_packed(&mut self, op: &PackedOp, lo: i64, hi: i64) {
+        match op {
+            PackedOp::Load { array, index, buf } => {
+                let mut out = Vec::with_capacity((hi - lo) as usize);
+                for i in lo..hi {
+                    self.vars[index.iv] = i;
+                    let idx = self.eval(&index.expr) as usize;
+                    out.push(self.arrays[*array][idx]);
+                }
+                self.bufs[*buf] = out;
+            }
+            PackedOp::Store {
+                array,
+                index,
+                value_buf,
+                cond_buf,
+            } => {
+                for i in lo..hi {
+                    let off = (i - lo) as usize;
+                    if let Some(cb) = cond_buf {
+                        if self.bufs[*cb][off] == 0 {
+                            continue;
+                        }
+                    }
+                    self.vars[index.iv] = i;
+                    let idx = self.eval(&index.expr) as usize;
+                    self.arrays[*array][idx] = self.bufs[*value_buf][off];
+                }
+            }
+            PackedOp::Rmw {
+                array,
+                index,
+                op,
+                value_buf,
+                cond_buf,
+            } => {
+                for i in lo..hi {
+                    let off = (i - lo) as usize;
+                    if let Some(cb) = cond_buf {
+                        if self.bufs[*cb][off] == 0 {
+                            continue;
+                        }
+                    }
+                    self.vars[index.iv] = i;
+                    let idx = self.eval(&index.expr) as usize;
+                    let old = self.arrays[*array][idx];
+                    self.arrays[*array][idx] = op.eval(old, self.bufs[*value_buf][off]);
+                }
+            }
+            PackedOp::EvalToBuf { expr, iv, buf } => {
+                let mut out = Vec::with_capacity((hi - lo) as usize);
+                for i in lo..hi {
+                    self.vars[*iv] = i;
+                    out.push(self.eval(expr));
+                }
+                self.bufs[*buf] = out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, RmwOp};
+
+    #[test]
+    fn gather_loop_interprets() {
+        // for i in 0..4 { C[i] = A[B[i]] }
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let c = p.array("C", 4);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(4),
+            vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        ));
+        let mut env = Env::for_program(&p);
+        env.arrays[a] = (0..8).map(|x| x * 10).collect();
+        env.arrays[b] = vec![7, 0, 3, 3];
+        env.run(&p);
+        assert_eq!(env.arrays[c], vec![70, 0, 30, 30]);
+    }
+
+    #[test]
+    fn conditional_rmw_interprets() {
+        // for i in 0..4 { if (D[i] >= 2) A[B[i]] += 1 }
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let d = p.array("D", 4);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(4),
+            vec![Stmt::If(
+                Expr::bin(BinOp::Ge, Expr::load(d, Expr::Var(i)), Expr::Const(2)),
+                vec![Stmt::Rmw(
+                    a,
+                    Expr::load(b, Expr::Var(i)),
+                    RmwOp::Add,
+                    Expr::Const(1),
+                )],
+            )],
+        ));
+        let mut env = Env::for_program(&p);
+        env.arrays[b] = vec![1, 1, 2, 3];
+        env.arrays[d] = vec![5, 0, 2, 1];
+        env.run(&p);
+        assert_eq!(env.arrays[a], vec![0, 1, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn nested_range_loops_interpret() {
+        // for i in 0..3 { for j in H[i]..H[i+1] { S[0] += E[j] } }
+        let mut p = Program::new();
+        let h = p.array("H", 4);
+        let e = p.array("E", 6);
+        let s = p.array("S", 1);
+        let i = p.var();
+        let j = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(3),
+            vec![Stmt::For(crate::ir::Loop {
+                iv: j,
+                lo: Expr::load(h, Expr::Var(i)),
+                hi: Expr::load(h, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+                body: vec![Stmt::Rmw(
+                    s,
+                    Expr::Const(0),
+                    RmwOp::Add,
+                    Expr::load(e, Expr::Var(j)),
+                )],
+            })],
+        ));
+        let mut env = Env::for_program(&p);
+        env.arrays[h] = vec![0, 2, 2, 6];
+        env.arrays[e] = vec![1, 2, 3, 4, 5, 6];
+        env.run(&p);
+        assert_eq!(env.arrays[s][0], 21);
+    }
+}

@@ -1,0 +1,257 @@
+//! The loop-level intermediate representation.
+//!
+//! Deliberately small: counted `for` loops, i64 scalars, 1-D arrays. This is
+//! the shape of code Polygeist raises from the C kernels of Table 1, and it
+//! is all the DX100 passes need.
+
+/// Identifier of a declared array.
+pub type ArrayId = usize;
+
+/// Identifier of a scalar variable (induction variables included).
+pub type VarId = usize;
+
+/// Binary scalar operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Logical shift right.
+    Shr,
+    /// Less-than (1/0).
+    Lt,
+    /// Less-or-equal (1/0).
+    Le,
+    /// Greater-than (1/0).
+    Gt,
+    /// Greater-or-equal (1/0).
+    Ge,
+    /// Equality (1/0).
+    Eq,
+}
+
+impl BinOp {
+    /// Evaluates the operator on two scalars.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::And => a & b,
+            BinOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::Eq => (a == b) as i64,
+        }
+    }
+}
+
+/// Read-modify-write operators (the associative/commutative subset DX100's
+/// IRMW accepts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `+=`
+    Add,
+    /// `min=`
+    Min,
+    /// `max=`
+    Max,
+}
+
+impl RmwOp {
+    /// Evaluates the update.
+    pub fn eval(self, old: i64, v: i64) -> i64 {
+        match self {
+            RmwOp::Add => old.wrapping_add(v),
+            RmwOp::Min => old.min(v),
+            RmwOp::Max => old.max(v),
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable read.
+    Var(VarId),
+    /// Array element load `A[index]`.
+    Load(ArrayId, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Read of a packed buffer produced by a hoisted `packed_load`
+    /// (introduced by the hoisting pass; absent from frontend IR).
+    BufRead(usize, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for [`Expr::Load`].
+    pub fn load(array: ArrayId, index: Expr) -> Expr {
+        Expr::Load(array, Box::new(index))
+    }
+
+    /// Convenience constructor for [`Expr::Bin`].
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Whether the expression mentions variable `v`.
+    pub fn uses_var(&self, v: VarId) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Var(x) => *x == v,
+            Expr::Load(_, i) => i.uses_var(v),
+            Expr::Bin(_, a, b) => a.uses_var(v) || b.uses_var(v),
+            Expr::BufRead(_, i) => i.uses_var(v),
+        }
+    }
+
+    /// All arrays loaded anywhere in the expression.
+    pub fn loaded_arrays(&self, out: &mut Vec<ArrayId>) {
+        match self {
+            Expr::Load(a, i) => {
+                out.push(*a);
+                i.loaded_arrays(out);
+            }
+            Expr::Bin(_, a, b) => {
+                a.loaded_arrays(out);
+                b.loaded_arrays(out);
+            }
+            Expr::BufRead(_, i) => i.loaded_arrays(out),
+            _ => {}
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `A[index] = value`.
+    Store(ArrayId, Expr, Expr),
+    /// `A[index] op= value`.
+    Rmw(ArrayId, Expr, RmwOp, Expr),
+    /// `var = value`.
+    Assign(VarId, Expr),
+    /// `if (cond != 0) { body }`.
+    If(Expr, Vec<Stmt>),
+    /// Counted loop.
+    For(Loop),
+    /// Write into a packed buffer: `buf[offset] = value` (introduced by
+    /// the hoisting pass for sunk stores/RMWs; absent from frontend IR).
+    BufWrite(usize, Expr, Expr),
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::For`].
+    pub fn for_loop(iv: VarId, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For(Loop { iv, lo, hi, body })
+    }
+}
+
+/// A counted loop `for iv in lo..hi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Induction variable (fresh per loop).
+    pub iv: VarId,
+    /// Inclusive lower bound expression.
+    pub lo: Expr,
+    /// Exclusive upper bound expression.
+    pub hi: Expr,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Diagnostic name.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+}
+
+/// A whole program: declarations plus a top-level statement list.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Declared arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Number of scalar variables allocated.
+    pub num_vars: usize,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an array.
+    pub fn array(&mut self, name: &str, len: usize) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            len,
+        });
+        self.arrays.len() - 1
+    }
+
+    /// Allocates a fresh scalar variable.
+    pub fn var(&mut self) -> VarId {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Shr.eval(16, 2), 4);
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+    }
+
+    #[test]
+    fn rmw_eval() {
+        assert_eq!(RmwOp::Add.eval(10, 5), 15);
+        assert_eq!(RmwOp::Min.eval(10, 5), 5);
+        assert_eq!(RmwOp::Max.eval(10, 5), 10);
+    }
+
+    #[test]
+    fn uses_var_traverses() {
+        let e = Expr::load(0, Expr::bin(BinOp::Add, Expr::Var(3), Expr::Const(1)));
+        assert!(e.uses_var(3));
+        assert!(!e.uses_var(2));
+    }
+
+    #[test]
+    fn loaded_arrays_collects_nested() {
+        let e = Expr::load(1, Expr::load(2, Expr::Var(0)));
+        let mut out = Vec::new();
+        e.loaded_arrays(&mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn program_builders() {
+        let mut p = Program::new();
+        let a = p.array("A", 10);
+        let v = p.var();
+        assert_eq!(a, 0);
+        assert_eq!(v, 0);
+        assert_eq!(p.arrays[0].name, "A");
+    }
+}

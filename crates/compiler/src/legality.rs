@@ -1,0 +1,338 @@
+//! Legality checks (paper Section 4.2 — Legality).
+//!
+//! Offloading requires that (a) no access in the loop stores to an array the
+//! transformation hoists loads from — any aliasing would let a hoisted load
+//! observe stale data (the Gauss–Seidel preconditioner is the paper's
+//! example of a rejected kernel) — and (b) no scalar value is carried from
+//! one iteration to the next, since DX100 executes iterations in bulk.
+
+use std::collections::HashSet;
+
+use crate::detect::{detect, AccessKind};
+use crate::ir::{ArrayId, Expr, Loop, Stmt, VarId};
+
+/// Why a loop cannot be offloaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Illegal {
+    /// A hoisted load's array is also stored in the loop (aliasing).
+    StoreAliasesHoistedLoad(ArrayId),
+    /// A scalar is live across iterations.
+    LoopCarriedScalar(VarId),
+    /// No indirect access was found — nothing to offload.
+    NothingToOffload,
+}
+
+impl std::fmt::Display for Illegal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Illegal::StoreAliasesHoistedLoad(a) => {
+                write!(f, "array {a} is both loaded indirectly and stored in the loop")
+            }
+            Illegal::LoopCarriedScalar(v) => write!(f, "scalar {v} is loop-carried"),
+            Illegal::NothingToOffload => write!(f, "no indirect access to offload"),
+        }
+    }
+}
+
+impl std::error::Error for Illegal {}
+
+/// Arrays written anywhere in a statement list (stores and RMWs).
+fn stored_arrays(body: &[Stmt], out: &mut HashSet<ArrayId>) {
+    for s in body {
+        match s {
+            Stmt::Store(a, _, _) | Stmt::Rmw(a, _, _, _) => {
+                out.insert(*a);
+            }
+            Stmt::If(_, b) => stored_arrays(b, out),
+            Stmt::For(l) => stored_arrays(&l.body, out),
+            Stmt::Assign(_, _) | Stmt::BufWrite(_, _, _) => {}
+        }
+    }
+}
+
+/// Arrays loaded anywhere in a statement list (including index chains).
+fn loaded_arrays(body: &[Stmt], out: &mut HashSet<ArrayId>) {
+    fn expr(e: &Expr, out: &mut HashSet<ArrayId>) {
+        let mut v = Vec::new();
+        e.loaded_arrays(&mut v);
+        out.extend(v);
+    }
+    for s in body {
+        match s {
+            Stmt::Store(_, i, v) => {
+                expr(i, out);
+                expr(v, out);
+            }
+            Stmt::Rmw(_, i, _, v) => {
+                expr(i, out);
+                expr(v, out);
+            }
+            Stmt::Assign(_, e) => expr(e, out),
+            Stmt::If(c, b) => {
+                expr(c, out);
+                loaded_arrays(b, out);
+            }
+            Stmt::For(l) => {
+                expr(&l.lo, out);
+                expr(&l.hi, out);
+                loaded_arrays(&l.body, out);
+            }
+            Stmt::BufWrite(_, i, v) => {
+                expr(i, out);
+                expr(v, out);
+            }
+        }
+    }
+}
+
+/// Variables read before being assigned within one iteration — loop-carried
+/// candidates. The induction variable is exempt.
+fn loop_carried_vars(body: &[Stmt], iv: VarId) -> Vec<VarId> {
+    let mut assigned: HashSet<VarId> = HashSet::new();
+    let mut carried = Vec::new();
+    fn expr_reads(e: &Expr, out: &mut Vec<VarId>) {
+        match e {
+            Expr::Var(v) => out.push(*v),
+            Expr::Load(_, i) | Expr::BufRead(_, i) => expr_reads(i, out),
+            Expr::Bin(_, a, b) => {
+                expr_reads(a, out);
+                expr_reads(b, out);
+            }
+            Expr::Const(_) => {}
+        }
+    }
+    fn walk(
+        body: &[Stmt],
+        iv: VarId,
+        assigned: &mut HashSet<VarId>,
+        carried: &mut Vec<VarId>,
+    ) {
+        for s in body {
+            let mut reads = Vec::new();
+            match s {
+                Stmt::Store(_, i, v) => {
+                    expr_reads(i, &mut reads);
+                    expr_reads(v, &mut reads);
+                }
+                Stmt::Rmw(_, i, _, v) => {
+                    expr_reads(i, &mut reads);
+                    expr_reads(v, &mut reads);
+                }
+                Stmt::Assign(v, e) => {
+                    expr_reads(e, &mut reads);
+                    for r in &reads {
+                        if *r != iv && !assigned.contains(r) {
+                            carried.push(*r);
+                        }
+                    }
+                    assigned.insert(*v);
+                    continue;
+                }
+                Stmt::If(c, b) => {
+                    expr_reads(c, &mut reads);
+                    for r in &reads {
+                        if *r != iv && !assigned.contains(r) {
+                            carried.push(*r);
+                        }
+                    }
+                    walk(b, iv, assigned, carried);
+                    continue;
+                }
+                Stmt::BufWrite(_, i, v) => {
+                    expr_reads(i, &mut reads);
+                    expr_reads(v, &mut reads);
+                }
+                Stmt::For(l) => {
+                    expr_reads(&l.lo, &mut reads);
+                    expr_reads(&l.hi, &mut reads);
+                    let mut inner_assigned = assigned.clone();
+                    inner_assigned.insert(l.iv);
+                    for r in &reads {
+                        if *r != iv && !assigned.contains(r) {
+                            carried.push(*r);
+                        }
+                    }
+                    walk(&l.body, iv, &mut inner_assigned, carried);
+                    continue;
+                }
+            }
+            for r in &reads {
+                if *r != iv && !assigned.contains(r) {
+                    carried.push(*r);
+                }
+            }
+        }
+    }
+    walk(body, iv, &mut assigned, &mut carried);
+    carried
+}
+
+/// Checks whether `l` may legally be offloaded to DX100.
+///
+/// # Errors
+/// Returns the first violated rule.
+pub fn check(l: &Loop) -> Result<(), Illegal> {
+    // Loop-carried scalars are checked first: temp inlining inside `detect`
+    // assumes iteration-local temporaries.
+    if let Some(v) = loop_carried_vars(&l.body, l.iv).first() {
+        return Err(Illegal::LoopCarriedScalar(*v));
+    }
+    let accesses = detect(l);
+    if accesses.is_empty() {
+        return Err(Illegal::NothingToOffload);
+    }
+    // Arrays whose loads would be hoisted: every array read through an
+    // indirect chain, plus the index arrays feeding them.
+    let mut hoisted_reads: HashSet<ArrayId> = HashSet::new();
+    for a in &accesses {
+        if a.kind == AccessKind::Load {
+            hoisted_reads.insert(a.array);
+        }
+        let mut idx_arrays = Vec::new();
+        a.index.loaded_arrays(&mut idx_arrays);
+        hoisted_reads.extend(idx_arrays);
+    }
+    let mut stored = HashSet::new();
+    stored_arrays(&l.body, &mut stored);
+    if let Some(conflict) = hoisted_reads.intersection(&stored).next() {
+        return Err(Illegal::StoreAliasesHoistedLoad(*conflict));
+    }
+    // RMW targets that are also plainly loaded elsewhere alias too.
+    let mut all_loaded = HashSet::new();
+    loaded_arrays(&l.body, &mut all_loaded);
+    for a in &accesses {
+        if matches!(a.kind, AccessKind::Rmw | AccessKind::Store) && all_loaded.contains(&a.array) {
+            return Err(Illegal::StoreAliasesHoistedLoad(a.array));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Program, RmwOp};
+
+    #[test]
+    fn clean_gather_is_legal() {
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let c = p.array("C", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        };
+        assert!(check(&l).is_ok());
+    }
+
+    #[test]
+    fn gauss_seidel_pattern_rejected() {
+        // A[B[i]] loaded AND A[i] stored: potential aliasing (the paper's
+        // Gauss–Seidel example).
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Store(
+                a,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        };
+        assert_eq!(check(&l), Err(Illegal::StoreAliasesHoistedLoad(a)));
+    }
+
+    #[test]
+    fn index_array_store_rejected() {
+        // B[i] = ...; x = A[B[i]] — storing the index array aliases the
+        // hoisted index loads.
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let c = p.array("C", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![
+                Stmt::Store(b, Expr::Var(i), Expr::Var(i)),
+                Stmt::Store(c, Expr::Var(i), Expr::load(a, Expr::load(b, Expr::Var(i)))),
+            ],
+        };
+        assert_eq!(check(&l), Err(Illegal::StoreAliasesHoistedLoad(b)));
+    }
+
+    #[test]
+    fn loop_carried_scalar_rejected() {
+        // acc = acc + A[B[i]]: acc read before assigned.
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let i = p.var();
+        let acc = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Assign(
+                acc,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(acc),
+                    Expr::load(a, Expr::load(b, Expr::Var(i))),
+                ),
+            )],
+        };
+        assert_eq!(check(&l), Err(Illegal::LoopCarriedScalar(acc)));
+    }
+
+    #[test]
+    fn rmw_to_unread_array_is_legal() {
+        // A[B[i]] += C[i]: A never loaded directly, so reordering is safe.
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let b = p.array("B", 4);
+        let c = p.array("C", 4);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(4),
+            body: vec![Stmt::Rmw(
+                a,
+                Expr::load(b, Expr::Var(i)),
+                RmwOp::Add,
+                Expr::load(c, Expr::Var(i)),
+            )],
+        };
+        assert!(check(&l).is_ok());
+    }
+
+    #[test]
+    fn pure_streaming_loop_has_nothing_to_offload() {
+        let mut p = Program::new();
+        let a = p.array("A", 8);
+        let c = p.array("C", 8);
+        let i = p.var();
+        let l = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(8),
+            body: vec![Stmt::Store(c, Expr::Var(i), Expr::load(a, Expr::Var(i)))],
+        };
+        assert_eq!(check(&l), Err(Illegal::NothingToOffload));
+    }
+}

@@ -1,0 +1,526 @@
+//! Lowering packed ops to DX100 API calls (paper Figure 7(d)), and a
+//! functional executor that runs the lowered calls on the real accelerator
+//! model — the compiler's end-to-end verification path.
+
+use dx100_common::{AluOp, DType};
+use dx100_core::functional::{ExecError, FunctionalDx100};
+use dx100_core::isa::{Instruction, RegId, TileId};
+use dx100_core::{Dx100Config, MemoryImage};
+
+use crate::hoist::{PackedOp, TransformedLoop};
+use crate::ir::{ArrayId, BinOp, Expr, RmwOp, VarId};
+
+/// A virtual tile number (bound to physical [`TileId`]s at execution).
+pub type VTile = usize;
+
+/// One lowered DX100 API call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dx100Call {
+    /// Stream-load `array[scale*i + offset]` for every tile iteration into
+    /// `dst` (lowers to `SLD`).
+    SldAffine {
+        /// Source array.
+        array: ArrayId,
+        /// Index scale.
+        scale: i64,
+        /// Index offset.
+        offset: i64,
+        /// Destination tile.
+        dst: VTile,
+    },
+    /// Indirect load `array[idx[k]]` (lowers to `ILD`).
+    Ild {
+        /// Gathered array.
+        array: ArrayId,
+        /// Tile of element indices.
+        idx: VTile,
+        /// Destination tile.
+        dst: VTile,
+        /// Optional condition tile.
+        cond: Option<VTile>,
+    },
+    /// Indirect store (lowers to `IST`).
+    Ist {
+        /// Target array.
+        array: ArrayId,
+        /// Tile of element indices.
+        idx: VTile,
+        /// Tile of values.
+        val: VTile,
+        /// Optional condition tile.
+        cond: Option<VTile>,
+    },
+    /// Indirect read-modify-write (lowers to `IRMW`).
+    Irmw {
+        /// Update operator.
+        op: RmwOp,
+        /// Target array.
+        array: ArrayId,
+        /// Tile of element indices.
+        idx: VTile,
+        /// Tile of values.
+        val: VTile,
+        /// Optional condition tile.
+        cond: Option<VTile>,
+    },
+    /// `dst[k] = src[k] op imm` (lowers to `ALUS` with a scalar register).
+    AluScalar {
+        /// ALU operator.
+        op: BinOp,
+        /// Source tile.
+        src: VTile,
+        /// Immediate operand (placed in a register).
+        imm: i64,
+        /// Destination tile.
+        dst: VTile,
+    },
+    /// Copy a host buffer (filled by the residual loop) into a tile.
+    HostBuf {
+        /// Buffer index.
+        buf: usize,
+        /// Destination tile.
+        dst: VTile,
+    },
+    /// Expose a gathered tile as a host buffer for the residual loop.
+    BufFrom {
+        /// Source tile.
+        src: VTile,
+        /// Buffer index.
+        buf: usize,
+    },
+}
+
+/// Why an index expression cannot be lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The expression is not of a supported shape.
+    UnsupportedIndex(Expr),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnsupportedIndex(e) => write!(f, "unsupported index expression {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Detects `scale * iv + offset` (any association).
+fn affine_of(e: &Expr, iv: VarId) -> Option<(i64, i64)> {
+    match e {
+        Expr::Const(c) => Some((0, *c)),
+        Expr::Var(v) if *v == iv => Some((1, 0)),
+        Expr::Bin(BinOp::Add, a, b) => {
+            let (s1, o1) = affine_of(a, iv)?;
+            let (s2, o2) = affine_of(b, iv)?;
+            Some((s1 + s2, o1 + o2))
+        }
+        Expr::Bin(BinOp::Sub, a, b) => {
+            let (s1, o1) = affine_of(a, iv)?;
+            let (s2, o2) = affine_of(b, iv)?;
+            Some((s1 - s2, o1 - o2))
+        }
+        Expr::Bin(BinOp::Mul, a, b) => match (affine_of(a, iv), affine_of(b, iv)) {
+            (Some((0, c)), Some((s, o))) | (Some((s, o)), Some((0, c))) => Some((s * c, o * c)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Lowering context: allocates virtual tiles.
+#[derive(Debug, Default)]
+pub struct Lowerer {
+    calls: Vec<Dx100Call>,
+    next_tile: VTile,
+}
+
+impl Lowerer {
+    fn tile(&mut self) -> VTile {
+        self.next_tile += 1;
+        self.next_tile - 1
+    }
+
+    /// Lowers an index expression to a tile of per-iteration indices.
+    ///
+    /// Supported shapes: affine `a*i + b` (pure streaming — lowered by the
+    /// caller), `B[affine]`, nested `B[C[...]]`, and mask/shift chains
+    /// `(expr & m) >> s` (the hash-join address calculation).
+    ///
+    /// # Errors
+    /// [`LowerError::UnsupportedIndex`] for anything else.
+    pub fn lower_index(&mut self, e: &Expr, iv: VarId) -> Result<VTile, LowerError> {
+        // Mask/shift around a sub-expression.
+        if let Expr::Bin(op @ (BinOp::And | BinOp::Shr), sub, c) = e {
+            if let Expr::Const(imm) = **c {
+                let src = self.lower_index(sub, iv)?;
+                let dst = self.tile();
+                self.calls.push(Dx100Call::AluScalar {
+                    op: *op,
+                    src,
+                    imm,
+                    dst,
+                });
+                return Ok(dst);
+            }
+        }
+        if let Expr::Load(arr, idx) = e {
+            // Innermost: affine index → stream load of the index array.
+            if let Some((scale, offset)) = affine_of(idx, iv) {
+                let dst = self.tile();
+                self.calls.push(Dx100Call::SldAffine {
+                    array: *arr,
+                    scale,
+                    offset,
+                    dst,
+                });
+                return Ok(dst);
+            }
+            // Another level of indirection below.
+            let inner = self.lower_index(idx, iv)?;
+            let dst = self.tile();
+            self.calls.push(Dx100Call::Ild {
+                array: *arr,
+                idx: inner,
+                dst,
+                cond: None,
+            });
+            return Ok(dst);
+        }
+        Err(LowerError::UnsupportedIndex(e.clone()))
+    }
+
+    /// Lowers a whole transformed loop's packed ops.
+    ///
+    /// # Errors
+    /// Propagates unsupported index shapes.
+    pub fn lower(mut self, t: &TransformedLoop) -> Result<Vec<Dx100Call>, LowerError> {
+        for op in &t.prologue {
+            match op {
+                PackedOp::Load { array, index, buf } => {
+                    let idx_tile = self.lower_index(&index.expr, index.iv)?;
+                    let dst = self.tile();
+                    self.calls.push(Dx100Call::Ild {
+                        array: *array,
+                        idx: idx_tile,
+                        dst,
+                        cond: None,
+                    });
+                    self.calls.push(Dx100Call::BufFrom { src: dst, buf: *buf });
+                }
+                PackedOp::EvalToBuf { .. } | PackedOp::Store { .. } | PackedOp::Rmw { .. } => {
+                    unreachable!("only packed loads appear in prologues")
+                }
+            }
+        }
+        for op in &t.epilogue {
+            match op {
+                PackedOp::Store {
+                    array,
+                    index,
+                    value_buf,
+                    cond_buf,
+                } => {
+                    let idx_tile = self.lower_index(&index.expr, index.iv)?;
+                    let val = self.tile();
+                    self.calls.push(Dx100Call::HostBuf {
+                        buf: *value_buf,
+                        dst: val,
+                    });
+                    let cond = self.lower_cond(cond_buf);
+                    self.calls.push(Dx100Call::Ist {
+                        array: *array,
+                        idx: idx_tile,
+                        val,
+                        cond,
+                    });
+                }
+                PackedOp::Rmw {
+                    array,
+                    index,
+                    op,
+                    value_buf,
+                    cond_buf,
+                } => {
+                    let idx_tile = self.lower_index(&index.expr, index.iv)?;
+                    let val = self.tile();
+                    self.calls.push(Dx100Call::HostBuf {
+                        buf: *value_buf,
+                        dst: val,
+                    });
+                    let cond = self.lower_cond(cond_buf);
+                    self.calls.push(Dx100Call::Irmw {
+                        op: *op,
+                        array: *array,
+                        idx: idx_tile,
+                        val,
+                        cond,
+                    });
+                }
+                PackedOp::Load { .. } | PackedOp::EvalToBuf { .. } => {
+                    unreachable!("only stores/RMWs appear in epilogues")
+                }
+            }
+        }
+        Ok(self.calls)
+    }
+
+    fn lower_cond(&mut self, cond_buf: &Option<usize>) -> Option<VTile> {
+        cond_buf.map(|cb| {
+            let t = self.tile();
+            self.calls.push(Dx100Call::HostBuf { buf: cb, dst: t });
+            t
+        })
+    }
+}
+
+/// Executes lowered calls for one tile `[lo, hi)` on the functional DX100,
+/// against `arrays` (i64 contents) and `bufs` (host buffers).
+///
+/// Prologue calls fill `bufs` via [`Dx100Call::BufFrom`]; epilogue calls
+/// read `bufs` via [`Dx100Call::HostBuf`] and mutate `arrays`.
+///
+/// # Errors
+/// Propagates accelerator-level execution errors.
+///
+/// # Panics
+/// Panics if the tile is larger than the accelerator's tile capacity or
+/// more virtual tiles are used than the scratchpad has.
+pub fn execute_calls(
+    calls: &[Dx100Call],
+    lo: i64,
+    hi: i64,
+    arrays: &mut [Vec<i64>],
+    bufs: &mut Vec<Vec<i64>>,
+) -> Result<(), ExecError> {
+    let count = (hi - lo).max(0) as u64;
+    let mut cfg = Dx100Config::paper();
+    cfg.tile_elems = cfg.tile_elems.max(count as usize);
+    let mut dx = FunctionalDx100::new(cfg);
+    let mut mem = MemoryImage::new();
+    let handles: Vec<_> = arrays
+        .iter()
+        .map(|a| mem.alloc("arr", DType::I64, a.len() as u64))
+        .collect();
+    for (h, a) in handles.iter().zip(arrays.iter()) {
+        for (i, v) in a.iter().enumerate() {
+            mem.write_elem(*h, i as u64, *v as u64);
+        }
+    }
+    let vt = |v: VTile| TileId::new(v as u8);
+    const R_START: RegId = RegId::new(0);
+    const R_STRIDE: RegId = RegId::new(1);
+    const R_COUNT: RegId = RegId::new(2);
+    const R_IMM: RegId = RegId::new(3);
+    dx.write_reg(R_COUNT, count);
+    for call in calls {
+        match call {
+            Dx100Call::SldAffine {
+                array,
+                scale,
+                offset,
+                dst,
+            } => {
+                let start = scale * lo + offset;
+                assert!(start >= 0 && *scale >= 0, "negative stream addressing");
+                dx.write_reg(R_START, start as u64);
+                dx.write_reg(R_STRIDE, *scale as u64);
+                dx.execute(
+                    &Instruction::sld(
+                        DType::I64,
+                        handles[*array].base(),
+                        vt(*dst),
+                        R_START,
+                        R_STRIDE,
+                        R_COUNT,
+                    ),
+                    &mut mem,
+                )?;
+            }
+            Dx100Call::Ild {
+                array,
+                idx,
+                dst,
+                cond,
+            } => {
+                let mut i = Instruction::ild(DType::I64, handles[*array].base(), vt(*dst), vt(*idx));
+                if let Some(c) = cond {
+                    i = i.with_condition(vt(*c));
+                }
+                dx.execute(&i, &mut mem)?;
+            }
+            Dx100Call::Ist {
+                array,
+                idx,
+                val,
+                cond,
+            } => {
+                let mut i = Instruction::ist(DType::I64, handles[*array].base(), vt(*idx), vt(*val));
+                if let Some(c) = cond {
+                    i = i.with_condition(vt(*c));
+                }
+                dx.execute(&i, &mut mem)?;
+            }
+            Dx100Call::Irmw {
+                op,
+                array,
+                idx,
+                val,
+                cond,
+            } => {
+                let aop = match op {
+                    RmwOp::Add => AluOp::Add,
+                    RmwOp::Min => AluOp::Min,
+                    RmwOp::Max => AluOp::Max,
+                };
+                let mut i =
+                    Instruction::irmw(DType::I64, aop, handles[*array].base(), vt(*idx), vt(*val));
+                if let Some(c) = cond {
+                    i = i.with_condition(vt(*c));
+                }
+                dx.execute(&i, &mut mem)?;
+            }
+            Dx100Call::AluScalar { op, src, imm, dst } => {
+                let aop = match op {
+                    BinOp::And => AluOp::And,
+                    BinOp::Shr => AluOp::Shr,
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::Mul => AluOp::Mul,
+                    other => panic!("unsupported scalar ALU op {other:?}"),
+                };
+                dx.write_reg(R_IMM, *imm as u64);
+                dx.execute(
+                    &Instruction::Alus {
+                        dtype: DType::I64,
+                        op: aop,
+                        td: vt(*dst),
+                        ts: vt(*src),
+                        rs: R_IMM,
+                        tc: None,
+                    },
+                    &mut mem,
+                )?;
+            }
+            Dx100Call::HostBuf { buf, dst } => {
+                let lanes: Vec<u64> = bufs[*buf].iter().map(|v| *v as u64).collect();
+                dx.write_tile(vt(*dst), &lanes);
+            }
+            Dx100Call::BufFrom { src, buf } => {
+                if bufs.len() <= *buf {
+                    bufs.resize(*buf + 1, Vec::new());
+                }
+                bufs[*buf] = dx.tile(vt(*src)).valid().iter().map(|v| *v as i64).collect();
+            }
+        }
+    }
+    for (h, a) in handles.iter().zip(arrays.iter_mut()) {
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = mem.read_elem(*h, i as u64) as i64;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_detection() {
+        let iv = 3;
+        assert_eq!(affine_of(&Expr::Var(iv), iv), Some((1, 0)));
+        assert_eq!(affine_of(&Expr::Const(5), iv), Some((0, 5)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Const(4), Expr::Var(iv)),
+            Expr::Const(2),
+        );
+        assert_eq!(affine_of(&e, iv), Some((4, 2)));
+        assert_eq!(affine_of(&Expr::load(0, Expr::Var(iv)), iv), None);
+    }
+
+    #[test]
+    fn single_level_index_lowers_to_sld() {
+        let mut l = Lowerer::default();
+        let t = l.lower_index(&Expr::load(7, Expr::Var(0)), 0).unwrap();
+        assert_eq!(t, 0);
+        assert_eq!(
+            l.calls,
+            vec![Dx100Call::SldAffine {
+                array: 7,
+                scale: 1,
+                offset: 0,
+                dst: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn two_level_index_lowers_to_sld_plus_ild() {
+        let mut l = Lowerer::default();
+        // B[C[i]]
+        let e = Expr::load(1, Expr::load(2, Expr::Var(0)));
+        l.lower_index(&e, 0).unwrap();
+        assert!(matches!(l.calls[0], Dx100Call::SldAffine { array: 2, .. }));
+        assert!(matches!(l.calls[1], Dx100Call::Ild { array: 1, .. }));
+    }
+
+    #[test]
+    fn mask_shift_lowers_to_alu_chain() {
+        let mut l = Lowerer::default();
+        // (C[i] & 240) >> 4
+        let e = Expr::bin(
+            BinOp::Shr,
+            Expr::bin(BinOp::And, Expr::load(5, Expr::Var(0)), Expr::Const(240)),
+            Expr::Const(4),
+        );
+        l.lower_index(&e, 0).unwrap();
+        assert!(matches!(l.calls[0], Dx100Call::SldAffine { array: 5, .. }));
+        assert!(matches!(
+            l.calls[1],
+            Dx100Call::AluScalar { op: BinOp::And, imm: 240, .. }
+        ));
+        assert!(matches!(
+            l.calls[2],
+            Dx100Call::AluScalar { op: BinOp::Shr, imm: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn unsupported_index_errors() {
+        let mut l = Lowerer::default();
+        // i * i is not affine and contains no load.
+        let e = Expr::bin(BinOp::Mul, Expr::Var(0), Expr::Var(0));
+        assert!(l.lower_index(&e, 0).is_err());
+    }
+
+    #[test]
+    fn execute_calls_gathers_on_functional_dx100() {
+        // Lower C[i] = A[B[i]] by hand and execute.
+        let calls = vec![
+            Dx100Call::SldAffine {
+                array: 1,
+                scale: 1,
+                offset: 0,
+                dst: 0,
+            },
+            Dx100Call::Ild {
+                array: 0,
+                idx: 0,
+                dst: 1,
+                cond: None,
+            },
+            Dx100Call::BufFrom { src: 1, buf: 0 },
+        ];
+        let mut arrays = vec![
+            (0..16i64).map(|x| x * 100).collect::<Vec<_>>(), // A
+            vec![3, 1, 4, 1, 5, 9, 2, 6],                    // B
+        ];
+        let mut bufs = Vec::new();
+        execute_calls(&calls, 0, 8, &mut arrays, &mut bufs).unwrap();
+        assert_eq!(bufs[0], vec![300, 100, 400, 100, 500, 900, 200, 600]);
+    }
+}

@@ -1,0 +1,269 @@
+//! The full compilation pipeline: tile → detect → legality → hoist → lower,
+//! plus an offloaded executor that runs the result against the functional
+//! DX100 — end-to-end, this is Figure 7 of the paper.
+
+use crate::hoist::{hoist, TransformedLoop};
+use crate::interp::Env;
+use crate::ir::{Expr, Program, Stmt};
+use crate::legality::Illegal;
+use crate::lower::{execute_calls, Dx100Call, LowerError, Lowerer};
+use crate::tile::static_tiles;
+
+/// Why compilation failed.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The program is not a single top-level counted loop with constant
+    /// bounds.
+    UnsupportedShape,
+    /// The loop failed a legality rule.
+    Illegal(Illegal),
+    /// A packed op's index could not be lowered to DX100 calls.
+    Lowering(LowerError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsupportedShape => {
+                write!(f, "program is not a single constant-bound loop")
+            }
+            CompileError::Illegal(e) => write!(f, "illegal to offload: {e}"),
+            CompileError::Lowering(e) => write!(f, "cannot lower: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<Illegal> for CompileError {
+    fn from(e: Illegal) -> Self {
+        CompileError::Illegal(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lowering(e)
+    }
+}
+
+/// A compiled loop: tile schedule, residual loop, and DX100 call template.
+#[derive(Debug)]
+pub struct CompiledLoop {
+    /// Tile boundaries `(lo, hi)`.
+    pub tiles: Vec<(i64, i64)>,
+    /// Hoisted form (prologue/residual/epilogue).
+    pub transformed: TransformedLoop,
+    /// Lowered DX100 calls, executed once per tile.
+    pub calls: Vec<Dx100Call>,
+}
+
+/// Compiles a program consisting of one top-level counted loop.
+///
+/// # Errors
+/// See [`CompileError`].
+pub fn compile_loop(program: &Program, tile_size: i64) -> Result<CompiledLoop, CompileError> {
+    let [Stmt::For(l)] = &program.body[..] else {
+        return Err(CompileError::UnsupportedShape);
+    };
+    let (Expr::Const(lo), Expr::Const(hi)) = (&l.lo, &l.hi) else {
+        return Err(CompileError::UnsupportedShape);
+    };
+    let mut next_var = program.num_vars;
+    let mut fresh = move || {
+        next_var += 1;
+        next_var - 1
+    };
+    let transformed = hoist(l, &mut fresh)?;
+    let calls = Lowerer::default().lower(&transformed)?;
+    Ok(CompiledLoop {
+        tiles: static_tiles(*lo, *hi, tile_size),
+        transformed,
+        calls,
+    })
+}
+
+/// Runs a compiled loop offloaded: per tile, the DX100 calls execute on the
+/// functional accelerator (prologue gathers + epilogue scatters) while the
+/// residual body runs on the interpreter — exactly the split the real
+/// system performs.
+///
+/// The environment must have enough variables for the transformed loop
+/// (use [`offload_env`]).
+///
+/// # Panics
+/// Panics if an accelerator call fails (the loop was vetted by `compile`).
+pub fn run_offloaded(compiled: &CompiledLoop, env: &mut Env) {
+    for &(lo, hi) in &compiled.tiles {
+        env.bufs = vec![Vec::new(); compiled.transformed.num_bufs];
+        // Prologue: calls up to (and including) the last BufFrom gather.
+        let split = compiled
+            .calls
+            .iter()
+            .rposition(|c| matches!(c, Dx100Call::BufFrom { .. }))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let (prologue_calls, epilogue_calls) = compiled.calls.split_at(split);
+        execute_calls(prologue_calls, lo, hi, &mut env.arrays, &mut env.bufs)
+            .expect("prologue calls execute");
+        // Ensure residual-written buffers exist.
+        let tile_len = (hi - lo).max(0) as usize;
+        for b in &mut env.bufs {
+            if b.is_empty() {
+                b.resize(tile_len, 0);
+            }
+        }
+        for i in lo..hi {
+            env.vars[compiled.transformed.iv] = i;
+            env.vars[compiled.transformed.tile_offset_var] = i - lo;
+            for s in &compiled.transformed.body {
+                env.exec(s);
+            }
+        }
+        execute_calls(epilogue_calls, lo, hi, &mut env.arrays, &mut env.bufs)
+            .expect("epilogue calls execute");
+    }
+}
+
+/// An environment sized for running `compiled` over `program`.
+pub fn offload_env(program: &Program, compiled: &CompiledLoop) -> Env {
+    let mut env = Env::for_program(program);
+    let max_var = compiled
+        .transformed
+        .tile_offset_var
+        .max(compiled.transformed.iv)
+        + 1;
+    if env.vars.len() < max_var {
+        env.vars.resize(max_var, 0);
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, RmwOp};
+
+    fn seed_arrays(env: &mut Env, index_len: usize) {
+        for (ai, arr) in env.arrays.iter_mut().enumerate() {
+            let n = arr.len();
+            for (i, v) in arr.iter_mut().enumerate() {
+                *v = ((i * 7 + ai * 13) % n.max(1)) as i64;
+            }
+        }
+        let _ = index_len;
+    }
+
+    /// Full pipeline check: interpreter result == offloaded (DX100) result.
+    fn check_pipeline(program: &Program, tile: i64) {
+        let compiled = compile_loop(program, tile).expect("compiles");
+        let mut ref_env = Env::for_program(program);
+        seed_arrays(&mut ref_env, 0);
+        let mut off_env = offload_env(program, &compiled);
+        seed_arrays(&mut off_env, 0);
+        ref_env.run(program);
+        run_offloaded(&compiled, &mut off_env);
+        assert_eq!(ref_env.arrays, off_env.arrays);
+    }
+
+    #[test]
+    fn figure7_gather_end_to_end() {
+        // for i in 0..40 { C[i] = A[B[i]] }  (Figure 7's running example)
+        let mut p = Program::new();
+        let a = p.array("A", 64);
+        let b = p.array("B", 40);
+        let c = p.array("C", 40);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(40),
+            vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        ));
+        check_pipeline(&p, 16);
+    }
+
+    #[test]
+    fn conditional_scatter_end_to_end() {
+        // for i { if (D[i] >= 3) A[B[i]] = C[i] + 1 }
+        let mut p = Program::new();
+        let a = p.array("A", 32);
+        let b = p.array("B", 32);
+        let c = p.array("C", 32);
+        let d = p.array("D", 32);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(32),
+            vec![Stmt::If(
+                Expr::bin(BinOp::Ge, Expr::load(d, Expr::Var(i)), Expr::Const(3)),
+                vec![Stmt::Store(
+                    a,
+                    Expr::load(b, Expr::Var(i)),
+                    Expr::bin(BinOp::Add, Expr::load(c, Expr::Var(i)), Expr::Const(1)),
+                )],
+            )],
+        ));
+        check_pipeline(&p, 8);
+    }
+
+    #[test]
+    fn hash_join_style_rmw_end_to_end() {
+        // for i { H[(K[i] & 15)] += 1 }  (histogram build)
+        let mut p = Program::new();
+        let h = p.array("H", 16);
+        let k = p.array("K", 48);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(48),
+            vec![Stmt::Rmw(
+                h,
+                Expr::bin(BinOp::And, Expr::load(k, Expr::Var(i)), Expr::Const(15)),
+                RmwOp::Add,
+                Expr::Const(1),
+            )],
+        ));
+        check_pipeline(&p, 16);
+    }
+
+    #[test]
+    fn illegal_program_rejected() {
+        // Gauss–Seidel-ish: A[B[i]] read, A stored.
+        let mut p = Program::new();
+        let a = p.array("A", 16);
+        let b = p.array("B", 16);
+        let i = p.var();
+        p.body.push(Stmt::for_loop(
+            i,
+            Expr::Const(0),
+            Expr::Const(16),
+            vec![Stmt::Store(
+                a,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )],
+        ));
+        assert!(matches!(
+            compile_loop(&p, 8),
+            Err(CompileError::Illegal(_))
+        ));
+    }
+
+    #[test]
+    fn non_loop_program_rejected() {
+        let mut p = Program::new();
+        let a = p.array("A", 4);
+        p.body.push(Stmt::Store(a, Expr::Const(0), Expr::Const(1)));
+        assert!(matches!(
+            compile_loop(&p, 8),
+            Err(CompileError::UnsupportedShape)
+        ));
+    }
+}

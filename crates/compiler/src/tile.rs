@@ -1,0 +1,119 @@
+//! Loop tiling: expose tile-sized bulk operations (paper Figure 7(b)).
+
+use crate::ir::{BinOp, Expr, Loop, Stmt, VarId};
+
+/// Tiles a counted loop: `for i in lo..hi { B }` becomes
+/// `for t in 0..ceil((hi-lo)/T) { for i in lo+t*T..min(lo+(t+1)*T, hi) { B } }`.
+///
+/// `fresh` must hand out unused variable ids (the outer induction variable
+/// and the bound temporaries).
+pub fn tile_loop(l: &Loop, tile: i64, fresh: &mut impl FnMut() -> VarId) -> Stmt {
+    assert!(tile > 0, "tile size must be positive");
+    let t = fresh();
+    let lo = l.lo.clone();
+    let hi = l.hi.clone();
+    // trip = hi - lo; tiles = (trip + T - 1) / T is awkward without division
+    // in the IR, so iterate t over lo..hi step T via: outer i0 = lo + t*T
+    // encoded as for t in 0..N where N chosen by the caller — instead we
+    // keep it simple and exact with a while-like structure:
+    //   for t in 0 .. ceil: inner for i in (lo + t*T) .. min(lo + (t+1)*T, hi)
+    // The outer bound uses the IR's arithmetic: ceil is computed by the
+    // caller only when bounds are constant; for symbolic bounds we emit an
+    // over-approximating outer loop guarded by the inner `min`.
+    let inner_lo = Expr::bin(
+        BinOp::Add,
+        lo.clone(),
+        Expr::bin(BinOp::Mul, Expr::Var(t), Expr::Const(tile)),
+    );
+    // min(a, hi) via select: a + (hi - a) * (hi < a)  — avoid: emit inner
+    // upper bound as expression `min` is not in the IR, so encode with a
+    // conditional assignment into a temp.
+    let bound = fresh();
+    let naive_hi = Expr::bin(BinOp::Add, inner_lo.clone(), Expr::Const(tile));
+    let inner = Loop {
+        iv: l.iv,
+        lo: inner_lo,
+        hi: Expr::Var(bound),
+        body: l.body.clone(),
+    };
+    let outer_trips = Expr::Var(fresh()); // filled by the caller for symbolic bounds
+    let _ = outer_trips;
+    Stmt::For(Loop {
+        iv: t,
+        lo: Expr::Const(0),
+        // ceil((hi-lo)/T): only computable for constant bounds; the caller
+        // uses `static_tiles` for execution. For the IR form we conservatively
+        // iterate (hi - lo) times capped by the empty inner loop; to keep the
+        // IR executable we compute trips for constant bounds here.
+        hi: match (&l.lo, &l.hi) {
+            (Expr::Const(a), Expr::Const(b)) => Expr::Const((b - a + tile - 1) / tile),
+            _ => Expr::bin(BinOp::Sub, hi.clone(), lo.clone()),
+        },
+        body: vec![
+            // bound = min(lo + (t+1)*T, hi): bound = naive; if hi < naive { bound = hi }
+            Stmt::Assign(bound, naive_hi.clone()),
+            Stmt::If(
+                Expr::bin(BinOp::Lt, hi.clone(), naive_hi),
+                vec![Stmt::Assign(bound, hi)],
+            ),
+            Stmt::For(inner),
+        ],
+    })
+}
+
+/// Static tile boundaries for constant loop bounds: `[lo, hi)` split into
+/// `(lo_k, hi_k)` chunks of at most `tile` iterations.
+pub fn static_tiles(lo: i64, hi: i64, tile: i64) -> Vec<(i64, i64)> {
+    assert!(tile > 0);
+    let mut out = Vec::new();
+    let mut cur = lo;
+    while cur < hi {
+        out.push((cur, (cur + tile).min(hi)));
+        cur += tile;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Env;
+    use crate::ir::Program;
+
+    #[test]
+    fn static_tiles_cover_range() {
+        assert_eq!(static_tiles(0, 10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(static_tiles(5, 5, 4), vec![]);
+        assert_eq!(static_tiles(0, 4, 4), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn tiled_loop_preserves_semantics() {
+        // for i in 0..10 { C[i] = A[i] + 1 }
+        let mut p = Program::new();
+        let a = p.array("A", 10);
+        let c = p.array("C", 10);
+        let i = p.var();
+        let body = vec![Stmt::Store(
+            c,
+            Expr::Var(i),
+            Expr::bin(BinOp::Add, Expr::load(a, Expr::Var(i)), Expr::Const(1)),
+        )];
+        let orig = Loop {
+            iv: i,
+            lo: Expr::Const(0),
+            hi: Expr::Const(10),
+            body: body.clone(),
+        };
+        let mut p2 = p.clone();
+        let tiled = tile_loop(&orig, 4, &mut || p2.var());
+
+        let mut env1 = Env::for_program(&p2);
+        env1.arrays[a] = (0..10).collect();
+        let mut env2 = env1.clone();
+        env1.exec(&Stmt::For(orig));
+        env2.exec(&tiled);
+        assert_eq!(env1.arrays[c], env2.arrays[c]);
+        assert_eq!(env1.arrays[c][9], 10);
+    }
+}

@@ -1,0 +1,116 @@
+//! DX100 configuration (paper Table 3 plus ablation switches).
+
+/// Configuration of one DX100 instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dx100Config {
+    /// Elements per scratchpad tile (Table 3: 16K).
+    pub tile_elems: usize,
+    /// Number of scratchpad tiles (Table 3: 32).
+    pub num_tiles: usize,
+    /// Indirect-unit fill throughput: elements inserted into the Row/Word
+    /// tables per cycle.
+    pub fill_rate: usize,
+    /// Stream-unit throughput: elements processed per cycle.
+    pub stream_rate: usize,
+    /// ALU lanes (Table 3: 16).
+    pub alu_lanes: usize,
+    /// Range-fuser output elements per cycle.
+    pub range_rate: usize,
+    /// Line responses the indirect unit's Word Modifier absorbs per cycle.
+    pub responses_per_cycle: usize,
+    /// Stream-unit Request Table entries (Table 3: 128) — its MSHR-like
+    /// bound on outstanding lines.
+    pub request_table_entries: usize,
+    /// Row Table: row entries per slice (Table 3: 64).
+    pub rows_per_slice: usize,
+    /// Row Table: column entries per row entry (Table 3: 8).
+    pub cols_per_row_entry: usize,
+    /// Outstanding line requests the indirect unit may have in flight.
+    pub indirect_max_inflight: usize,
+    /// TLB entries for huge-page PTEs (Table 3: 256).
+    pub tlb_entries: usize,
+    /// Fill-stage stall on a TLB miss, in cycles.
+    pub tlb_miss_latency: u64,
+    /// Latency of a core load served from the scratchpad region, in cycles
+    /// (applied at the memory side of the cache hierarchy).
+    pub spd_read_latency: u64,
+    /// One-way latency of a core MMIO store to DX100, in cycles.
+    pub mmio_latency: u64,
+    /// Ablation: reorder accesses by DRAM row (Row Table). When off,
+    /// requests issue in tile order.
+    pub reorder: bool,
+    /// Ablation: coalesce words sharing a line (Word Table). When off, each
+    /// word issues its own line request.
+    pub coalesce: bool,
+    /// Ablation: interleave request issue across channels and bank groups.
+    /// When off, slices drain sequentially.
+    pub interleave: bool,
+    /// Section 3.6 design choice: indirect accesses snoop the directory and
+    /// go straight to DRAM on a miss. When false, every indirect access is
+    /// injected into the LLC instead.
+    pub direct_dram: bool,
+}
+
+impl Dx100Config {
+    /// The paper's Table 3 configuration: 2 MB scratchpad as 32 × 16K tiles,
+    /// 64×8 Row Table slices, 128-entry Request Table, 16 ALU lanes,
+    /// 256-entry TLB.
+    pub fn paper() -> Self {
+        Dx100Config {
+            tile_elems: 16 * 1024,
+            num_tiles: 32,
+            fill_rate: 16,
+            stream_rate: 16,
+            alu_lanes: 16,
+            range_rate: 4,
+            responses_per_cycle: 4,
+            request_table_entries: 128,
+            rows_per_slice: 64,
+            cols_per_row_entry: 8,
+            indirect_max_inflight: 96,
+            tlb_entries: 256,
+            tlb_miss_latency: 100,
+            spd_read_latency: 8,
+            mmio_latency: 40,
+            reorder: true,
+            coalesce: true,
+            interleave: true,
+            direct_dram: true,
+        }
+    }
+
+    /// Paper configuration with a different tile size (Figure 13 sweep).
+    pub fn with_tile_elems(mut self, tile_elems: usize) -> Self {
+        self.tile_elems = tile_elems;
+        self
+    }
+
+    /// Scratchpad capacity in bytes (4-byte words, as in Table 3's 2 MB =
+    /// 32 × 16K × 4 B).
+    pub fn scratchpad_bytes(&self) -> usize {
+        self.num_tiles * self.tile_elems * 4
+    }
+}
+
+impl Default for Dx100Config {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scratchpad_is_2mb() {
+        assert_eq!(Dx100Config::paper().scratchpad_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tile_size_override() {
+        let c = Dx100Config::paper().with_tile_elems(1024);
+        assert_eq!(c.tile_elems, 1024);
+        assert_eq!(c.num_tiles, 32);
+    }
+}

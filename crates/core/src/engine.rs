@@ -1,0 +1,651 @@
+//! The timed DX100 engine: Figure 2(b) assembled — controller/scoreboard,
+//! stream unit, indirect unit, ALU, range fuser, TLB, coherency agent — and
+//! clocked against the memory system through [`MemPorts`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dx100_common::flags::FlagId;
+use dx100_common::{Addr, Cycle, LineAddr, ReqId, CACHE_LINE_BYTES};
+use dx100_dram::{AddrMap, DramConfig, Organization};
+
+use crate::alu_unit::AluUnit;
+use crate::config::Dx100Config;
+use crate::controller::{unit_of, Controller, DispatchedInstr, Unit};
+use crate::functional::ExecError;
+use crate::indirect::IndirectUnit;
+use crate::isa::{Instruction, RegId, TileId};
+use crate::memimg::MemoryImage;
+use crate::ports::MemPorts;
+use crate::range_fuser::RangeFuser;
+use crate::regfile::RegFile;
+use crate::scratchpad::{Scratchpad, Tile};
+use crate::stats::Dx100Stats;
+use crate::stream_unit::StreamUnit;
+use crate::tlb::Tlb;
+
+/// Base virtual address of the memory-mapped scratchpad data region
+/// (Figure 6). Tiles are laid out contiguously, 8 bytes per element.
+pub const SPD_REGION_BASE: Addr = 0x4000_0000_0000;
+
+/// Bytes per scratchpad element in the memory-mapped view.
+pub const SPD_ELEM_BYTES: u64 = 8;
+
+/// Which unit owns an in-flight request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitTag {
+    /// Stream unit line (read or write).
+    Stream,
+    /// Indirect unit line read.
+    IndirectRead,
+    /// Indirect unit write-back.
+    IndirectWrite,
+}
+
+/// Request-id allocator + response router shared by the units.
+#[derive(Debug, Default)]
+pub struct IdAlloc {
+    next: ReqId,
+    routes: HashMap<ReqId, UnitTag>,
+}
+
+impl IdAlloc {
+    /// Allocates an id routed to `tag`.
+    pub fn alloc(&mut self, tag: UnitTag) -> ReqId {
+        let id = self.next;
+        self.next += 1;
+        self.routes.insert(id, tag);
+        id
+    }
+
+    /// Cancels an id whose request was refused (buffer full).
+    pub fn cancel(&mut self, id: ReqId) {
+        self.routes.remove(&id);
+    }
+
+    /// Resolves and removes the route for a completed id.
+    pub fn take_route(&mut self, id: ReqId) -> Option<UnitTag> {
+        self.routes.remove(&id)
+    }
+
+    /// Outstanding routed requests.
+    pub fn outstanding(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// The timed DX100 accelerator instance.
+#[derive(Debug)]
+pub struct Dx100Engine {
+    cfg: Dx100Config,
+    spd: Scratchpad,
+    regs: RegFile,
+    controller: Controller,
+    stream: StreamUnit,
+    indirect: IndirectUnit,
+    alu: AluUnit,
+    range: RangeFuser,
+    tlb: Tlb,
+    ids: IdAlloc,
+    resp_inbox: VecDeque<ReqId>,
+    retired: Vec<(u64, Option<FlagId>)>,
+    /// Scratchpad lines the cores have cached (coherency agent V bits).
+    spd_cached: HashSet<LineAddr>,
+    stats: Dx100Stats,
+    next_handle: u64,
+    halted: Option<ExecError>,
+    spd_base: Addr,
+}
+
+impl Dx100Engine {
+    /// Builds an engine whose Row Table mirrors `dram`'s bank geometry.
+    pub fn new(cfg: Dx100Config, dram: &DramConfig) -> Self {
+        Self::with_geometry(cfg, dram.organization.clone(), dram.addr_map)
+    }
+
+    /// Builds an engine for an explicit DRAM organization and mapping.
+    pub fn with_geometry(cfg: Dx100Config, org: Organization, map: AddrMap) -> Self {
+        Dx100Engine {
+            spd: Scratchpad::new(cfg.num_tiles, cfg.tile_elems),
+            regs: RegFile::new(),
+            controller: Controller::new(),
+            stream: StreamUnit::new(cfg.stream_rate, cfg.request_table_entries),
+            indirect: IndirectUnit::new(cfg.clone(), org, map),
+            alu: AluUnit::new(cfg.alu_lanes),
+            range: RangeFuser::new(cfg.range_rate),
+            tlb: Tlb::new(cfg.tlb_entries),
+            ids: IdAlloc::default(),
+            resp_inbox: VecDeque::new(),
+            retired: Vec::new(),
+            spd_cached: HashSet::new(),
+            stats: Dx100Stats::default(),
+            next_handle: 0,
+            halted: None,
+            spd_base: SPD_REGION_BASE,
+            cfg,
+        }
+    }
+
+    /// Relocates this instance's memory-mapped scratchpad region (multiple
+    /// DX100 instances occupy disjoint regions).
+    pub fn set_spd_base(&mut self, base: Addr) {
+        self.spd_base = base;
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &Dx100Config {
+        &self.cfg
+    }
+
+    /// Writes a scalar register (core MMIO store to the RF region).
+    pub fn write_reg(&mut self, id: RegId, v: u64) {
+        self.regs.write(id, v);
+    }
+
+    /// Reads a scalar register.
+    pub fn read_reg(&self, id: RegId) -> u64 {
+        self.regs.read(id)
+    }
+
+    /// Writes a whole tile from the host side.
+    pub fn write_tile(&mut self, id: TileId, values: &[u64]) {
+        self.spd.write_tile(id, values);
+    }
+
+    /// Shared view of a tile.
+    pub fn tile(&self, id: TileId) -> &Tile {
+        self.spd.tile(id)
+    }
+
+    /// Transfers PTEs covering `[base, base+size)` to the accelerator TLB
+    /// (the once-per-application setup API of Section 3.6).
+    pub fn preload_ptes(&mut self, base: Addr, size: u64) {
+        self.tlb.preload_range(base, size);
+    }
+
+    /// Memory-mapped address of element `i` of `tile` in the scratchpad
+    /// data region (what cores load when consuming gathered data).
+    pub fn tile_elem_addr(&self, tile: TileId, i: usize) -> Addr {
+        self.spd_base
+            + (tile.index() * self.cfg.tile_elems) as u64 * SPD_ELEM_BYTES
+            + i as u64 * SPD_ELEM_BYTES
+    }
+
+    /// Whether `addr` falls inside the scratchpad data region.
+    pub fn is_spd_addr(&self, addr: Addr) -> bool {
+        addr >= self.spd_base
+            && addr
+                < self.spd_base
+                    + (self.cfg.num_tiles * self.cfg.tile_elems) as u64 * SPD_ELEM_BYTES
+    }
+
+    /// Records that the cores cached a scratchpad line (coherency agent V
+    /// bit). The glue calls this when serving SPD-region fills.
+    pub fn note_spd_cached(&mut self, line: LineAddr) {
+        self.spd_cached.insert(line);
+    }
+
+    /// Submits an instruction with its register operands resolved now.
+    /// `flag` is set on the flag board when the instruction retires.
+    ///
+    /// # Errors
+    /// Rejects ISA-illegal instructions.
+    pub fn push_instruction(
+        &mut self,
+        instr: Instruction,
+        flag: Option<FlagId>,
+    ) -> Result<u64, ExecError> {
+        instr.validate()?;
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let (r1, r2, r3) = match instr {
+            Instruction::Sld { rs1, rs2, rs3, .. } | Instruction::Sst { rs1, rs2, rs3, .. } => (
+                self.regs.read(rs1),
+                self.regs.read(rs2),
+                self.regs.read(rs3),
+            ),
+            Instruction::Alus { rs, .. } => (self.regs.read(rs), 0, 0),
+            Instruction::Rng { rs1, .. } => (self.regs.read(rs1), 0, 0),
+            _ => (0, 0, 0),
+        };
+        self.controller.receive(DispatchedInstr {
+            handle,
+            instr,
+            r1,
+            r2,
+            r3,
+            flag,
+        });
+        Ok(handle)
+    }
+
+    /// Submits an instruction from its 192-bit wire encoding.
+    ///
+    /// # Errors
+    /// Rejects undecodable or illegal encodings.
+    pub fn push_encoded(&mut self, words: [u64; 3], flag: Option<FlagId>) -> Result<u64, ExecError> {
+        let instr = Instruction::decode(words)?;
+        self.push_instruction(instr, flag)
+    }
+
+    /// Delivers a memory completion from the system glue.
+    pub fn mem_response(&mut self, id: ReqId) {
+        self.resp_inbox.push_back(id);
+    }
+
+    /// Instructions that retired since the last drain: `(handle, flag)`.
+    pub fn drain_retired(&mut self) -> Vec<(u64, Option<FlagId>)> {
+        std::mem::take(&mut self.retired)
+    }
+
+    /// Whether every queue and unit is empty.
+    pub fn is_idle(&self) -> bool {
+        self.controller.is_idle()
+            && self.stream.is_idle()
+            && self.indirect.is_idle()
+            && self.alu.is_idle()
+            && self.range.is_idle()
+            && self.resp_inbox.is_empty()
+    }
+
+    /// Diagnostic summary of queue occupancy.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "ctl(q={} infl={}) stream_idle={} indirect[{}] alu_idle={} rng_idle={} inbox={}",
+            self.controller.queued(),
+            self.controller.in_flight(),
+            self.stream.is_idle(),
+            self.indirect.debug_state(),
+            self.alu.is_idle(),
+            self.range.is_idle(),
+            self.resp_inbox.len()
+        )
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &Dx100Stats {
+        &self.stats
+    }
+
+    /// Clears statistics (ROI boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = Dx100Stats::default();
+    }
+
+    /// TLB statistics `(hits, misses)`.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        (self.tlb.hits(), self.tlb.misses())
+    }
+
+    /// A runtime error that halted the engine, if any.
+    pub fn error(&self) -> Option<ExecError> {
+        self.halted
+    }
+
+    /// Advances one CPU cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemoryImage, ports: &mut dyn MemPorts) {
+        if self.halted.is_some() {
+            return;
+        }
+        let mut retired: Vec<u64> = Vec::new();
+
+        // 1. Route completed memory requests.
+        while let Some(id) = self.resp_inbox.pop_front() {
+            match self.ids.take_route(id) {
+                Some(UnitTag::Stream) => {
+                    if let Some(h) = self.stream.on_response(id, &mut self.spd, mem) {
+                        retired.push(h);
+                    }
+                }
+                Some(UnitTag::IndirectRead) | Some(UnitTag::IndirectWrite) => {
+                    self.indirect.push_response(id);
+                }
+                None => debug_assert!(false, "response for unrouted id {id}"),
+            }
+        }
+
+        // 2. Dispatch (up to two instructions per cycle).
+        for _ in 0..2 {
+            let Some(d) = self.controller.try_dispatch() else {
+                break;
+            };
+            // Coherency agent: invalidate any host-cached scratchpad lines
+            // of the instruction's tiles.
+            let mut tiles = d.instr.dest_tiles();
+            tiles.extend(d.instr.source_tiles());
+            for t in &tiles {
+                self.invalidate_tile_lines(*t, ports);
+            }
+            for t in d.instr.dest_tiles() {
+                self.spd.begin_produce_unsized(t);
+            }
+            match unit_of(&d.instr) {
+                Unit::Stream => self.stream.enqueue(d),
+                Unit::Indirect => self.indirect.enqueue(d),
+                Unit::Alu => self.alu.enqueue(d),
+                Unit::Range => self.range.enqueue(d),
+            }
+        }
+
+        // 3. Unit pipelines.
+        if let Some(h) = self.stream.step(
+            now,
+            &mut self.spd,
+            mem,
+            ports,
+            &mut self.ids,
+            &mut self.stats,
+        ) {
+            retired.push(h);
+        }
+        self.indirect
+            .fill_step(now, &mut self.spd, ports, &mut self.tlb, &mut self.stats);
+        self.indirect
+            .request_step(now, ports, &mut self.ids, &mut self.stats, 4);
+        retired.extend(self.indirect.response_step(&mut self.spd, mem, &mut self.stats));
+        retired.extend(self.indirect.poll_retired());
+        match self.alu.step(&mut self.spd) {
+            Ok(Some(h)) => retired.push(h),
+            Ok(None) => {}
+            Err(e) => {
+                self.halted = Some(e);
+                return;
+            }
+        }
+        match self.range.step(&mut self.spd) {
+            Ok(Some(h)) => retired.push(h),
+            Ok(None) => {}
+            Err(e) => {
+                self.halted = Some(e);
+                return;
+            }
+        }
+
+        // 4. Retire.
+        for h in retired {
+            let (dests, flag) = self.controller.retire(h);
+            for d in dests {
+                self.spd.set_ready(d);
+            }
+            self.retired.push((h, flag));
+            self.stats.instructions_retired += 1;
+        }
+    }
+
+    fn invalidate_tile_lines(&mut self, tile: TileId, ports: &mut dyn MemPorts) {
+        if self.spd_cached.is_empty() {
+            return;
+        }
+        let start = self.tile_elem_addr(tile, 0);
+        let end = start + self.cfg.tile_elems as u64 * SPD_ELEM_BYTES;
+        let first = LineAddr::containing(start);
+        let last = LineAddr::containing(end - 1);
+        // Only touch lines the coherency agent knows are cached (V bits).
+        let cached: Vec<LineAddr> = self
+            .spd_cached
+            .iter()
+            .copied()
+            .filter(|l| (first..=last).contains(l))
+            .collect();
+        for line in cached {
+            ports.invalidate(line);
+            self.spd_cached.remove(&line);
+            self.stats.coherency_invalidations += 1;
+        }
+    }
+
+    /// Elements per tile and line count per tile (diagnostics).
+    pub fn tile_lines(&self) -> u64 {
+        self.cfg.tile_elems as u64 * SPD_ELEM_BYTES / CACHE_LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::FunctionalDx100;
+    use crate::ports::TestPorts;
+    use dx100_common::{AluOp, DType};
+
+    const T0: TileId = TileId::new(0);
+    const T1: TileId = TileId::new(1);
+    const T2: TileId = TileId::new(2);
+    const T3: TileId = TileId::new(3);
+    const R0: RegId = RegId::new(0);
+    const R1: RegId = RegId::new(1);
+    const R2: RegId = RegId::new(2);
+
+    fn small_cfg() -> Dx100Config {
+        let mut cfg = Dx100Config::paper();
+        cfg.tile_elems = 256;
+        cfg
+    }
+
+    fn run_engine(
+        engine: &mut Dx100Engine,
+        mem: &mut MemoryImage,
+        ports: &mut TestPorts,
+        max_cycles: Cycle,
+    ) {
+        for now in 0..max_cycles {
+            while let Some(id) = ports.pop_ready(now) {
+                engine.mem_response(id);
+            }
+            engine.tick(now, mem, ports);
+            if let Some(e) = engine.error() {
+                panic!("engine halted: {e}");
+            }
+            if engine.is_idle() {
+                return;
+            }
+        }
+        panic!("engine did not drain in {max_cycles} cycles");
+    }
+
+    /// End-to-end gather: SLD indices, ILD values; compare with functional.
+    #[test]
+    fn timed_gather_matches_functional() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 4096);
+        let b = mem.alloc("B", DType::U32, 128);
+        for i in 0..4096 {
+            mem.write_elem(a, i, i.wrapping_mul(2654435761) & 0xffff);
+        }
+        for i in 0..128 {
+            mem.write_elem(b, i, (i * 97 + 13) % 4096);
+        }
+        let program = [
+            Instruction::sld(DType::U32, b.base(), T0, R0, R1, R2),
+            Instruction::ild(DType::U32, a.base(), T1, T0),
+        ];
+
+        // Functional reference.
+        let mut fx = FunctionalDx100::new(small_cfg());
+        fx.write_reg(R0, 0);
+        fx.write_reg(R1, 1);
+        fx.write_reg(R2, 128);
+        let mut fmem_expect: Vec<u64> = Vec::new();
+        {
+            let mut mem2 = MemoryImage::new();
+            let a2 = mem2.alloc("A", DType::U32, 4096);
+            let b2 = mem2.alloc("B", DType::U32, 128);
+            for i in 0..4096 {
+                mem2.write_elem(a2, i, i.wrapping_mul(2654435761) & 0xffff);
+            }
+            for i in 0..128 {
+                mem2.write_elem(b2, i, (i * 97 + 13) % 4096);
+            }
+            let prog2 = [
+                Instruction::sld(DType::U32, b2.base(), T0, R0, R1, R2),
+                Instruction::ild(DType::U32, a2.base(), T1, T0),
+            ];
+            fx.run(&prog2, &mut mem2).unwrap();
+            fmem_expect.extend_from_slice(fx.tile(T1).valid());
+        }
+
+        // Timed engine.
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_reg(R0, 0);
+        engine.write_reg(R1, 1);
+        engine.write_reg(R2, 128);
+        for instr in program {
+            engine.push_instruction(instr, None).unwrap();
+        }
+        let mut ports = TestPorts::new(30);
+        run_engine(&mut engine, &mut mem, &mut ports, 50_000);
+        assert_eq!(engine.tile(T1).valid(), &fmem_expect[..]);
+        assert_eq!(engine.stats().instructions_retired, 2);
+        // Coalescing: 128 gathered words over 4096×4B = far fewer lines
+        // than words.
+        assert!(engine.stats().indirect_line_reads <= 128);
+    }
+
+    #[test]
+    fn timed_scatter_rmw_matches_functional() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let make_mem = || {
+            let mut mem = MemoryImage::new();
+            let a = mem.alloc("A", DType::U32, 512);
+            (mem, a)
+        };
+        let (mut mem, a) = make_mem();
+        let idx: Vec<u64> = (0..64).map(|i| (i * 31 + 7) % 512).collect();
+        let vals: Vec<u64> = (0..64).map(|i| i + 1000).collect();
+
+        // Functional.
+        let (mut fmem, fa) = make_mem();
+        let mut fx = FunctionalDx100::new(small_cfg());
+        fx.write_tile(T0, &idx);
+        fx.write_tile(T1, &vals);
+        fx.run(
+            &[
+                Instruction::ist(DType::U32, fa.base(), T0, T1),
+                Instruction::irmw(DType::U32, AluOp::Add, fa.base(), T0, T1),
+            ],
+            &mut fmem,
+        )
+        .unwrap();
+
+        // Timed.
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &idx);
+        engine.write_tile(T1, &vals);
+        engine
+            .push_instruction(Instruction::ist(DType::U32, a.base(), T0, T1), None)
+            .unwrap();
+        engine
+            .push_instruction(Instruction::irmw(DType::U32, AluOp::Add, a.base(), T0, T1), None)
+            .unwrap();
+        let mut ports = TestPorts::new(25);
+        run_engine(&mut engine, &mut mem, &mut ports, 100_000);
+        assert_eq!(mem.to_vec(a), fmem.to_vec(fa));
+        assert!(engine.stats().indirect_line_writes > 0);
+    }
+
+    #[test]
+    fn full_pipeline_with_alu_condition_and_range() {
+        // Conditional gather over fused ranges:
+        //   bounds lo[k]=k*4, hi[k]=k*4+3; cond = (k % 2 == 0) via ALU.
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 256);
+        for i in 0..256 {
+            mem.write_elem(a, i, 7000 + i);
+        }
+        let lows: Vec<u64> = (0..16u64).map(|k| k * 4).collect();
+        let highs: Vec<u64> = (0..16u64).map(|k| k * 4 + 3).collect();
+
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &lows);
+        engine.write_tile(T1, &highs);
+        engine.write_reg(R0, 256); // range budget
+        engine
+            .push_instruction(
+                Instruction::Rng {
+                    td1: T2,
+                    td2: T3,
+                    ts1: T0,
+                    ts2: T1,
+                    rs1: R0,
+                    tc: None,
+                },
+                None,
+            )
+            .unwrap();
+        // Gather A[j] for every fused j.
+        let t4 = TileId::new(4);
+        engine
+            .push_instruction(Instruction::ild(DType::U32, a.base(), t4, T3), None)
+            .unwrap();
+        let mut ports = TestPorts::new(20);
+        run_engine(&mut engine, &mut mem, &mut ports, 100_000);
+        // 16 ranges × 3 elements.
+        assert_eq!(engine.tile(t4).len(), Some(48));
+        assert_eq!(engine.tile(t4).get(0), 7000);
+        assert_eq!(engine.tile(t4).get(3), 7004); // k=1: j=4
+        assert_eq!(engine.tile(t4).get(47), 7062); // k=15: j=62
+    }
+
+    #[test]
+    fn dram_backpressure_stalls_but_completes() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 2048);
+        let idx: Vec<u64> = (0..64).map(|i| (i * 131) % 2048).collect();
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &idx);
+        engine
+            .push_instruction(Instruction::ild(DType::U32, a.base(), T1, T0), None)
+            .unwrap();
+        let mut ports = TestPorts::new(20);
+        ports.dram_refusals = 50;
+        run_engine(&mut engine, &mut mem, &mut ports, 100_000);
+        assert!(engine.stats().reqbuf_stall_cycles > 0);
+        assert_eq!(engine.tile(T1).len(), Some(64));
+    }
+
+    #[test]
+    fn snooped_lines_route_to_llc() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 1024);
+        let idx: Vec<u64> = (0..32).collect();
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &idx);
+        let mut ports = TestPorts::new(15);
+        // Pretend the cores have the first line of A cached.
+        ports.cached.insert(LineAddr::containing(a.base()));
+        engine
+            .push_instruction(Instruction::ild(DType::U32, a.base(), T1, T0), None)
+            .unwrap();
+        run_engine(&mut engine, &mut mem, &mut ports, 50_000);
+        let llc_reqs: Vec<_> = ports.issued.iter().filter(|(_, _, _, dram)| !dram).collect();
+        let dram_reqs: Vec<_> = ports.issued.iter().filter(|(_, _, _, dram)| *dram).collect();
+        assert_eq!(llc_reqs.len(), 1, "cached line must go through the LLC");
+        assert_eq!(dram_reqs.len(), 1, "uncached line goes direct to DRAM");
+        assert_eq!(engine.stats().snoop_hits, 1);
+    }
+
+    #[test]
+    fn encoded_instruction_round_trip_executes() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 64);
+        for i in 0..64 {
+            mem.write_elem(a, i, i + 5);
+        }
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &[3, 1, 4, 1, 5]);
+        let words = Instruction::ild(DType::U32, a.base(), T1, T0).encode();
+        engine.push_encoded(words, None).unwrap();
+        let mut ports = TestPorts::new(10);
+        run_engine(&mut engine, &mut mem, &mut ports, 10_000);
+        assert_eq!(engine.tile(T1).valid(), &[8, 6, 9, 6, 10]);
+    }
+}

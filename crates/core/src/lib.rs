@@ -1,0 +1,84 @@
+//! # DX100 — the programmable data access accelerator
+//!
+//! This crate is the paper's primary contribution rendered in Rust: a shared,
+//! memory-mapped accelerator that offloads *bulk* indirect loads, stores, and
+//! read-modify-writes, and makes them fast by giving the DRAM command stream
+//! visibility over an entire 16K-element tile:
+//!
+//! * **Reordering** — the [`indirect`] unit's Row Table groups accesses by
+//!   DRAM row and issues each row's columns back-to-back, turning row misses
+//!   into hits.
+//! * **Coalescing** — the Word Table links all words that share a cache-line
+//!   column, so each unique line is fetched exactly once per tile.
+//! * **Interleaving** — the request generator walks Row Table slices in
+//!   channel/bank-group-interleaved order, keeping every channel busy and
+//!   dodging the `tCCD_L` same-bank-group penalty.
+//!
+//! The crate provides two execution models sharing one ISA ([`isa`]):
+//!
+//! * [`functional::FunctionalDx100`] executes instructions immediately on a
+//!   [`MemoryImage`] — the paper's "functional simulator ... to ensure the
+//!   correctness of the implementations before simulation".
+//! * [`engine::Dx100Engine`] is the timed microarchitectural model — the
+//!   scratchpad, controller/scoreboard, stream unit, indirect unit
+//!   (Row/Word tables), range fuser, ALU, TLB, and coherency agent of
+//!   Figure 2(b) — driven cycle by cycle against the DRAM and cache
+//!   substrates.
+//!
+//! Both produce bit-identical results; the property tests in
+//! `tests/` lean on that equivalence.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dx100_common::DType;
+//! use dx100_core::functional::FunctionalDx100;
+//! use dx100_core::isa::{Instruction, RegId, TileId};
+//! use dx100_core::{Dx100Config, MemoryImage};
+//!
+//! // A[B[i]] gather over 8 elements, fully offloaded.
+//! let mut mem = MemoryImage::new();
+//! let a = mem.alloc("A", DType::U32, 16);
+//! let b = mem.alloc("B", DType::U32, 8);
+//! for i in 0..16 {
+//!     mem.write_elem(a, i, (100 + i) as u64);
+//! }
+//! for (i, idx) in [7u64, 3, 7, 0, 15, 9, 1, 2].into_iter().enumerate() {
+//!     mem.write_elem(b, i as u64, idx);
+//! }
+//!
+//! let mut dx = FunctionalDx100::new(Dx100Config::paper());
+//! let (t_idx, t_val) = (TileId::new(0), TileId::new(1));
+//! dx.write_reg(RegId::new(0), 0); // start
+//! dx.write_reg(RegId::new(1), 1); // stride
+//! dx.write_reg(RegId::new(2), 8); // count
+//! dx.execute(
+//!     &Instruction::sld(DType::U32, b.base(), t_idx, RegId::new(0), RegId::new(1), RegId::new(2)),
+//!     &mut mem,
+//! ).unwrap();
+//! dx.execute(&Instruction::ild(DType::U32, a.base(), t_val, t_idx), &mut mem).unwrap();
+//! assert_eq!(dx.tile(t_val).data()[0], 107); // A[B[0]] = A[7]
+//! ```
+
+pub mod alu_unit;
+pub mod area;
+pub mod config;
+pub mod controller;
+pub mod engine;
+pub mod functional;
+pub mod indirect;
+pub mod isa;
+pub mod memimg;
+pub mod ports;
+pub mod range_fuser;
+pub mod regfile;
+pub mod scratchpad;
+pub mod stats;
+pub mod stream_unit;
+pub mod tlb;
+
+pub use config::Dx100Config;
+pub use engine::Dx100Engine;
+pub use memimg::{ArrayHandle, MemoryImage};
+pub use ports::MemPorts;
+pub use stats::Dx100Stats;

@@ -1,0 +1,208 @@
+//! The simulated application address space: named arrays backed by real
+//! bytes.
+//!
+//! Both execution models operate on a `MemoryImage`: the functional model
+//! reads/writes it immediately, the timed engine reads/writes it when the
+//! corresponding DRAM/LLC transactions complete. Because DX100 holds
+//! exclusive write access to its indirect regions inside a region of
+//! interest (paper Section 4.2 — Legality), the two orders are equivalent
+//! and the models produce bit-identical results.
+
+use dx100_common::{value, Addr, DType};
+
+/// Handle to an allocated array: base address, element type, and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle {
+    base: Addr,
+    dtype: DType,
+    len: u64,
+}
+
+impl ArrayHandle {
+    /// Base byte address of the array.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element `idx`.
+    ///
+    /// # Panics
+    /// Debug-panics if `idx` is out of bounds.
+    #[inline]
+    pub fn addr_of(&self, idx: u64) -> Addr {
+        debug_assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        self.base + idx * self.dtype.size_bytes()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len * self.dtype.size_bytes()
+    }
+}
+
+/// A flat little-endian address space with an array allocator.
+///
+/// Addresses start above zero and arrays are page-aligned, mimicking the
+/// paper's huge-page-backed data regions.
+#[derive(Debug, Default)]
+pub struct MemoryImage {
+    data: Vec<u8>,
+    next_base: Addr,
+}
+
+/// Alignment of allocated arrays (a 4 KB page).
+const ARRAY_ALIGN: u64 = 4096;
+/// First allocatable address (keep 0 invalid).
+const FIRST_BASE: u64 = 4096;
+
+impl MemoryImage {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        MemoryImage {
+            data: Vec::new(),
+            next_base: FIRST_BASE,
+        }
+    }
+
+    /// Allocates a zero-initialized array of `len` elements of `dtype`.
+    /// `_name` is a diagnostic label.
+    pub fn alloc(&mut self, _name: &str, dtype: DType, len: u64) -> ArrayHandle {
+        let base = self.next_base;
+        let size = len * dtype.size_bytes();
+        self.next_base = (base + size).div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
+        let need = self.next_base as usize;
+        if self.data.len() < need {
+            self.data.resize(need, 0);
+        }
+        ArrayHandle { base, dtype, len }
+    }
+
+    /// Highest allocated address (exclusive).
+    pub fn high_water(&self) -> Addr {
+        self.next_base
+    }
+
+    /// Reads the element at `idx` of `array` as a raw value lane.
+    #[inline]
+    pub fn read_elem(&self, array: ArrayHandle, idx: u64) -> u64 {
+        self.read(array.dtype(), array.addr_of(idx))
+    }
+
+    /// Writes a raw value lane to element `idx` of `array`.
+    #[inline]
+    pub fn write_elem(&mut self, array: ArrayHandle, idx: u64, v: u64) {
+        self.write(array.dtype(), array.addr_of(idx), v);
+    }
+
+    /// Reads a value of `dtype` at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics if the address range is unallocated.
+    #[inline]
+    pub fn read(&self, dtype: DType, addr: Addr) -> u64 {
+        value::read_le(dtype, &self.data, addr as usize)
+    }
+
+    /// Writes a value of `dtype` at byte address `addr`.
+    ///
+    /// # Panics
+    /// Panics if the address range is unallocated.
+    #[inline]
+    pub fn write(&mut self, dtype: DType, addr: Addr, v: u64) {
+        value::write_le(dtype, &mut self.data, addr as usize, v);
+    }
+
+    /// Copies an `f64` slice into `array` (convenience for dataset setup).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or non-f64 arrays.
+    pub fn fill_f64(&mut self, array: ArrayHandle, values: &[f64]) {
+        assert_eq!(array.dtype(), DType::F64);
+        assert_eq!(values.len() as u64, array.len());
+        for (i, v) in values.iter().enumerate() {
+            self.write_elem(array, i as u64, value::from_f64(*v));
+        }
+    }
+
+    /// Copies a `u32` slice into `array`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or non-u32 arrays.
+    pub fn fill_u32(&mut self, array: ArrayHandle, values: &[u32]) {
+        assert_eq!(array.dtype(), DType::U32);
+        assert_eq!(values.len() as u64, array.len());
+        for (i, v) in values.iter().enumerate() {
+            self.write_elem(array, i as u64, *v as u64);
+        }
+    }
+
+    /// Reads the whole array back as raw lanes (test/diagnostic helper).
+    pub fn to_vec(&self, array: ArrayHandle) -> Vec<u64> {
+        (0..array.len()).map(|i| self.read_elem(array, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_page_aligned_and_disjoint() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", DType::U32, 100);
+        let b = m.alloc("b", DType::F64, 3);
+        assert_eq!(a.base() % ARRAY_ALIGN, 0);
+        assert_eq!(b.base() % ARRAY_ALIGN, 0);
+        assert!(a.base() + a.size_bytes() <= b.base());
+        assert!(a.base() >= FIRST_BASE);
+    }
+
+    #[test]
+    fn element_round_trip() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", DType::U32, 8);
+        m.write_elem(a, 3, 0xdead_beef);
+        assert_eq!(m.read_elem(a, 3), 0xdead_beef);
+        assert_eq!(m.read_elem(a, 2), 0);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", DType::F64, 4);
+        m.fill_f64(a, &[1.0, -2.5, 3.25, 0.0]);
+        assert_eq!(value::to_f64(m.read_elem(a, 1)), -2.5);
+        assert_eq!(m.to_vec(a).len(), 4);
+    }
+
+    #[test]
+    fn addresses_match_layout() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", DType::U64, 10);
+        assert_eq!(a.addr_of(0), a.base());
+        assert_eq!(a.addr_of(5), a.base() + 40);
+    }
+
+    #[test]
+    fn byte_addressed_access_sees_elements() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", DType::U32, 4);
+        m.write_elem(a, 2, 77);
+        assert_eq!(m.read(DType::U32, a.base() + 8), 77);
+    }
+}

@@ -1,0 +1,48 @@
+//! The 32-entry scalar register file (loop bounds, strides, ALU scalars).
+
+use crate::isa::RegId;
+
+/// DX100's scalar register file.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    regs: [u64; RegId::MAX as usize],
+}
+
+impl RegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        RegFile {
+            regs: [0; RegId::MAX as usize],
+        }
+    }
+
+    /// Reads a register.
+    pub fn read(&self, id: RegId) -> u64 {
+        self.regs[id.index()]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, id: RegId, v: u64) {
+        self.regs[id.index()] = v;
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut rf = RegFile::new();
+        assert_eq!(rf.read(RegId::new(5)), 0);
+        rf.write(RegId::new(5), 42);
+        assert_eq!(rf.read(RegId::new(5)), 42);
+        assert_eq!(rf.read(RegId::new(6)), 0);
+    }
+}

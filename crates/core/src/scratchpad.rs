@@ -1,0 +1,224 @@
+//! The 2 MB scratchpad: 32 tiles of 16K elements, with the per-tile ready
+//! bit and per-element finish bits that coordinate cores, functional units,
+//! and fine-grained producer/consumer chaining (paper Section 3.5).
+
+use crate::isa::TileId;
+
+/// One scratchpad tile.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    data: Vec<u64>,
+    finish: Vec<bool>,
+    /// Valid element count, set by the producing instruction. `None` until a
+    /// producer announces it (range-fuser outputs are only sized at
+    /// completion).
+    len: Option<usize>,
+    /// Ready bit: the last instruction touching this tile has retired.
+    ready: bool,
+}
+
+impl Tile {
+    fn new(capacity: usize) -> Self {
+        Tile {
+            data: vec![0; capacity],
+            finish: vec![false; capacity],
+            len: None,
+            ready: true,
+        }
+    }
+
+    /// Raw element lanes (all `capacity` slots; only `len()` are valid).
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Valid element count, if announced.
+    pub fn len(&self) -> Option<usize> {
+        self.len
+    }
+
+    /// Whether the tile has an announced length of zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == Some(0)
+    }
+
+    /// Ready bit (all producing instructions retired).
+    pub fn ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Whether element `i` has been produced.
+    pub fn finished(&self, i: usize) -> bool {
+        self.finish[i]
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds the tile capacity.
+    pub fn get(&self, i: usize) -> u64 {
+        self.data[i]
+    }
+
+    /// Valid elements as a slice.
+    ///
+    /// # Panics
+    /// Panics if the length has not been announced.
+    pub fn valid(&self) -> &[u64] {
+        &self.data[..self.len.expect("tile length not announced")]
+    }
+}
+
+/// The scratchpad: a fixed set of tiles.
+#[derive(Debug)]
+pub struct Scratchpad {
+    tiles: Vec<Tile>,
+    capacity: usize,
+}
+
+impl Scratchpad {
+    /// Creates `num_tiles` tiles of `capacity` elements each.
+    pub fn new(num_tiles: usize, capacity: usize) -> Self {
+        Scratchpad {
+            tiles: (0..num_tiles).map(|_| Tile::new(capacity)).collect(),
+            capacity,
+        }
+    }
+
+    /// Elements per tile.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Shared view of a tile.
+    pub fn tile(&self, id: TileId) -> &Tile {
+        &self.tiles[id.index()]
+    }
+
+    /// Announces the valid length of `id` (producer dispatch) and clears all
+    /// finish bits up to that length.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the tile capacity.
+    pub fn begin_produce(&mut self, id: TileId, len: usize) {
+        assert!(len <= self.capacity, "tile overflow: {len} > {}", self.capacity);
+        let t = &mut self.tiles[id.index()];
+        t.len = Some(len);
+        t.ready = false;
+        for f in t.finish[..len].iter_mut() {
+            *f = false;
+        }
+    }
+
+    /// Marks a tile not-ready without announcing a length (range-fuser
+    /// destinations, whose length is only known at completion).
+    pub fn begin_produce_unsized(&mut self, id: TileId) {
+        let t = &mut self.tiles[id.index()];
+        t.len = None;
+        t.ready = false;
+        for f in t.finish.iter_mut() {
+            *f = false;
+        }
+    }
+
+    /// Writes element `i` of `id` and sets its finish bit.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds capacity.
+    pub fn produce(&mut self, id: TileId, i: usize, v: u64) {
+        let t = &mut self.tiles[id.index()];
+        t.data[i] = v;
+        t.finish[i] = true;
+    }
+
+    /// Marks element `i` finished as a condition-skipped lane. Skipped lanes
+    /// read as zero — deterministic across the functional and timed models
+    /// (and what a hardware scratchpad with cleared destination tiles would
+    /// produce).
+    pub fn skip(&mut self, id: TileId, i: usize) {
+        let t = &mut self.tiles[id.index()];
+        t.data[i] = 0;
+        t.finish[i] = true;
+    }
+
+    /// Announces the final length late (range-fuser completion).
+    pub fn set_len(&mut self, id: TileId, len: usize) {
+        assert!(len <= self.capacity);
+        self.tiles[id.index()].len = Some(len);
+    }
+
+    /// Sets the ready bit (producing instruction retired).
+    pub fn set_ready(&mut self, id: TileId) {
+        self.tiles[id.index()].ready = true;
+    }
+
+    /// Writes an entire tile at once (functional model / core writes).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` exceeds capacity.
+    pub fn write_tile(&mut self, id: TileId, values: &[u64]) {
+        assert!(values.len() <= self.capacity);
+        let t = &mut self.tiles[id.index()];
+        t.data[..values.len()].copy_from_slice(values);
+        for f in t.finish[..values.len()].iter_mut() {
+            *f = true;
+        }
+        t.len = Some(values.len());
+        t.ready = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_cycle() {
+        let mut spd = Scratchpad::new(4, 16);
+        let t = TileId::new(2);
+        spd.begin_produce(t, 3);
+        assert!(!spd.tile(t).ready());
+        assert!(!spd.tile(t).finished(0));
+        spd.produce(t, 0, 10);
+        spd.produce(t, 2, 30);
+        spd.skip(t, 1);
+        assert!(spd.tile(t).finished(1));
+        spd.set_ready(t);
+        assert!(spd.tile(t).ready());
+        assert_eq!(spd.tile(t).valid(), &[10, 0, 30]);
+    }
+
+    #[test]
+    fn write_tile_bulk() {
+        let mut spd = Scratchpad::new(2, 8);
+        let t = TileId::new(0);
+        spd.write_tile(t, &[1, 2, 3]);
+        assert_eq!(spd.tile(t).len(), Some(3));
+        assert!(spd.tile(t).ready());
+        assert_eq!(spd.tile(t).valid(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unsized_then_late_len() {
+        let mut spd = Scratchpad::new(2, 8);
+        let t = TileId::new(1);
+        spd.begin_produce_unsized(t);
+        assert_eq!(spd.tile(t).len(), None);
+        spd.produce(t, 0, 5);
+        spd.set_len(t, 1);
+        spd.set_ready(t);
+        assert_eq!(spd.tile(t).valid(), &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile overflow")]
+    fn overflow_rejected() {
+        let mut spd = Scratchpad::new(1, 4);
+        spd.begin_produce(TileId::new(0), 5);
+    }
+}

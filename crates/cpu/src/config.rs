@@ -1,0 +1,63 @@
+//! Core configuration (paper Table 3).
+
+/// Structural parameters of one out-of-order core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Dispatch/retire width in µops per cycle.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Load-queue entries.
+    pub lq: usize,
+    /// Store-queue entries.
+    pub sq: usize,
+    /// Memory operations issued to L1 per cycle (2 loads + 1 store ports).
+    pub mem_issue_width: usize,
+    /// ALU op latency in cycles.
+    pub alu_latency: u64,
+    /// Extra latency of an atomic RMW beyond its memory access (cacheline
+    /// locking / fence overhead).
+    pub atomic_lock_latency: u64,
+    /// Cycles between polls while blocked on a wait flag; each poll costs
+    /// `spin_instructions_per_poll` instructions when spinning is modeled.
+    pub poll_interval: u64,
+    /// Instructions charged per poll iteration of a spin-wait loop.
+    pub spin_instructions_per_poll: u64,
+}
+
+impl CoreConfig {
+    /// Table 3: 8-wide, ROB 224, LQ 72, SQ 56, 3.2 GHz.
+    pub fn paper() -> Self {
+        CoreConfig {
+            width: 8,
+            rob: 224,
+            lq: 72,
+            sq: 56,
+            mem_issue_width: 3,
+            alu_latency: 1,
+            atomic_lock_latency: 4,
+            poll_interval: 16,
+            spin_instructions_per_poll: 2,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table3() {
+        let c = CoreConfig::paper();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob, 224);
+        assert_eq!(c.lq, 72);
+        assert_eq!(c.sq, 56);
+    }
+}

@@ -1,0 +1,724 @@
+//! The out-of-order core engine: in-order dispatch and retire, out-of-order
+//! issue, bounded by ROB/LQ/SQ and the issue widths of Table 3.
+
+use std::collections::{HashMap, VecDeque};
+
+use dx100_common::flags::{FlagBoard, FlagId};
+use dx100_common::{Addr, CoreId, Cycle, DelayQueue};
+
+use crate::config::CoreConfig;
+use crate::op::{CoreOp, OpStream};
+use crate::stats::CoreStats;
+
+/// Kind of a memory operation handed to the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// Demand load.
+    Load,
+    /// Demand store (write-allocate).
+    Store,
+    /// Atomic RMW: issued as a store-intent access; the core adds the lock
+    /// latency internally on completion.
+    Atomic,
+}
+
+/// A memory operation the core wants to issue into its L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemIssue {
+    /// ROB sequence number; echo it back via [`Core::mem_complete`].
+    pub seq: u64,
+    /// Byte address.
+    pub addr: Addr,
+    /// Stream id for prefetcher training.
+    pub stream: u32,
+    /// Operation kind.
+    pub kind: MemKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    Load,
+    Store,
+    Atomic { locked: bool },
+    Alu,
+    Mmio { signal: Option<u32> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Waiting on `n` outstanding dependencies.
+    Waiting(u8),
+    /// Dependencies satisfied; queued for its functional unit.
+    Ready,
+    /// In flight in the memory system.
+    Issued,
+    /// Done; eligible to retire once it reaches the ROB head.
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    kind: EntryKind,
+    state: EntryState,
+    addr: Addr,
+    stream: u32,
+}
+
+/// One out-of-order core executing a [`CoreOp`] stream.
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    stream: Box<dyn OpStream>,
+    stream_done: bool,
+    peeked: Option<CoreOp>,
+    rob: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    lq_used: usize,
+    sq_used: usize,
+    waiters: HashMap<u64, Vec<u64>>,
+    ready_mem: VecDeque<u64>,
+    internal_done: DelayQueue<u64>,
+    waiting_flag: Option<WaitState>,
+    atomic_pending: bool,
+    mem_inflight: usize,
+    mmio_signals: Vec<u32>,
+    stats: CoreStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WaitState {
+    flag: FlagId,
+    spin: bool,
+    next_poll_at: Cycle,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("rob_occupancy", &self.rob.len())
+            .field("head_seq", &self.head_seq)
+            .field("stream_done", &self.stream_done)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core that will execute `stream`.
+    pub fn new(id: CoreId, cfg: CoreConfig, stream: Box<dyn OpStream>) -> Self {
+        Core {
+            id,
+            cfg,
+            stream,
+            stream_done: false,
+            peeked: None,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            lq_used: 0,
+            sq_used: 0,
+            waiters: HashMap::new(),
+            ready_mem: VecDeque::new(),
+            internal_done: DelayQueue::new(),
+            waiting_flag: None,
+            atomic_pending: false,
+            mem_inflight: 0,
+            mmio_signals: Vec::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Replaces the op stream (used when a workload phase hands a core a new
+    /// program).
+    pub fn set_stream(&mut self, stream: Box<dyn OpStream>) {
+        self.stream = stream;
+        self.stream_done = false;
+        self.peeked = None;
+    }
+
+    /// Wakes the core after more ops were appended to a shared channel
+    /// stream that had previously reported exhaustion.
+    pub fn nudge(&mut self) {
+        self.stream_done = false;
+    }
+
+    /// Whether the core has fully drained: stream exhausted, ROB empty, and
+    /// no wait pending.
+    pub fn is_done(&self) -> bool {
+        self.stream_done
+            && self.peeked.is_none()
+            && self.rob.is_empty()
+            && self.waiting_flag.is_none()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Clears statistics (ROI boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+
+    /// Signals from completed MMIO ops (DX100 instruction beats), in
+    /// completion order. The system glue drains these every cycle.
+    pub fn drain_mmio_signals(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.mmio_signals)
+    }
+
+    /// Delivers a memory completion for the op with sequence number `seq`.
+    pub fn mem_complete(&mut self, seq: u64, now: Cycle) {
+        let Some(entry) = self.entry_mut(seq) else {
+            debug_assert!(false, "completion for unknown seq {seq}");
+            return;
+        };
+        if let EntryKind::Atomic { locked } = &mut entry.kind {
+            if !*locked {
+                // Data arrived; now pay the cacheline-lock latency.
+                *locked = true;
+                self.internal_done.push_at(now + self.cfg.atomic_lock_latency, seq);
+                return;
+            }
+        }
+        // Atomics decrement `mem_inflight` in `finish` (after the lock
+        // latency elapses); plain loads/stores decrement here.
+        let is_plain_mem = matches!(entry.kind, EntryKind::Load | EntryKind::Store);
+        if is_plain_mem {
+            self.mem_inflight -= 1;
+        }
+        self.finish(seq, now);
+    }
+
+    /// Advances one cycle. Ready memory ops are handed to `issue`.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        flags: &mut FlagBoard,
+        issue: &mut dyn FnMut(MemIssue),
+    ) {
+        if self.is_done() {
+            return;
+        }
+        self.stats.cycles += 1;
+
+        // 1. Internal completions (ALU latency, MMIO latency, atomic locks).
+        while let Some(seq) = self.internal_done.pop_ready(now) {
+            self.finish(seq, now);
+        }
+
+        // 2. Retire from the head, in order.
+        let mut retired = 0;
+        while retired < self.cfg.width {
+            match self.rob.front() {
+                Some(e) if e.state == EntryState::Complete => {
+                    let e = self.rob.pop_front().unwrap();
+                    match e.kind {
+                        EntryKind::Load => self.lq_used -= 1,
+                        EntryKind::Store | EntryKind::Mmio { .. } => self.sq_used -= 1,
+                        EntryKind::Atomic { .. } => {
+                            self.lq_used -= 1;
+                            self.sq_used -= 1;
+                        }
+                        EntryKind::Alu => {}
+                    }
+                    self.waiters.remove(&self.head_seq);
+                    self.head_seq += 1;
+                    self.stats.instructions += 1;
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 3. Dispatch up to `width` new µops.
+        self.dispatch(now, flags);
+
+        // 4. Issue ready memory ops to the L1 port. Atomics have fence
+        //    semantics on the memory stream: an atomic issues only when no
+        //    other memory op is in flight, and blocks younger memory ops
+        //    until it completes (LOCK-prefix behaviour — serialized memory,
+        //    but the pipeline keeps dispatching).
+        for _ in 0..self.cfg.mem_issue_width {
+            if self.atomic_pending {
+                self.stats.stall_fence += 1;
+                break;
+            }
+            let Some(&seq) = self.ready_mem.front() else {
+                break;
+            };
+            let is_atomic = matches!(
+                self.entry_mut(seq).map(|e| e.kind),
+                Some(EntryKind::Atomic { .. })
+            );
+            if is_atomic && self.mem_inflight > 0 {
+                self.stats.stall_fence += 1;
+                break;
+            }
+            self.ready_mem.pop_front();
+            let Some(entry) = self.entry_mut(seq) else {
+                continue;
+            };
+            debug_assert_eq!(entry.state, EntryState::Ready);
+            entry.state = EntryState::Issued;
+            let (addr, stream) = (entry.addr, entry.stream);
+            let kind = match entry.kind {
+                EntryKind::Load => MemKind::Load,
+                EntryKind::Store => MemKind::Store,
+                EntryKind::Atomic { .. } => {
+                    self.atomic_pending = true;
+                    MemKind::Atomic
+                }
+                _ => unreachable!("only memory ops enter ready_mem"),
+            };
+            self.mem_inflight += 1;
+            self.stats.mem_ops_issued += 1;
+            issue(MemIssue {
+                seq,
+                addr,
+                stream,
+                kind,
+            });
+        }
+
+        // 5. Occupancy statistics (Figure 10c analysis inputs).
+        self.stats.rob_occupancy.sample(self.rob.len() as f64);
+        self.stats.lq_occupancy.sample(self.lq_used as f64);
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut Entry> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        self.rob.get_mut(idx)
+    }
+
+    /// Marks `seq` complete and wakes dependents.
+    fn finish(&mut self, seq: u64, now: Cycle) {
+        let alu_latency = self.cfg.alu_latency;
+        let Some(entry) = self.entry_mut(seq) else {
+            debug_assert!(false, "finish for unknown seq {seq}");
+            return;
+        };
+        entry.state = EntryState::Complete;
+        let kind = entry.kind;
+        if let EntryKind::Atomic { .. } = kind {
+            self.atomic_pending = false;
+            self.mem_inflight -= 1;
+        }
+        if let EntryKind::Mmio { signal: Some(sig) } = kind {
+            self.mmio_signals.push(sig);
+        }
+        if let Some(deps) = self.waiters.remove(&seq) {
+            for dseq in deps {
+                let Some(dep_entry) = self.entry_mut(dseq) else {
+                    continue;
+                };
+                if let EntryState::Waiting(n) = dep_entry.state {
+                    if n <= 1 {
+                        dep_entry.state = EntryState::Ready;
+                        self.route_ready(dseq, now, alu_latency);
+                    } else {
+                        dep_entry.state = EntryState::Waiting(n - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a newly ready entry to its functional unit.
+    fn route_ready(&mut self, seq: u64, now: Cycle, alu_latency: u64) {
+        let entry = self.entry_mut(seq).expect("routing unknown seq");
+        match entry.kind {
+            EntryKind::Load | EntryKind::Store | EntryKind::Atomic { .. } => {
+                self.ready_mem.push_back(seq);
+            }
+            EntryKind::Alu => self.internal_done.push_at(now + alu_latency, seq),
+            EntryKind::Mmio { .. } => {
+                // Latency was stashed in `addr` at dispatch.
+                let latency = entry.addr;
+                self.internal_done.push_at(now + latency, seq);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, flags: &mut FlagBoard) {
+        for _ in 0..self.cfg.width {
+            // Blocked on a flag?
+            if let Some(w) = self.waiting_flag {
+                if flags.get(w.flag) {
+                    self.waiting_flag = None;
+                } else {
+                    self.stats.wait_cycles += 1;
+                    if w.spin && now >= w.next_poll_at {
+                        self.stats.instructions += self.cfg.spin_instructions_per_poll;
+                        self.stats.spin_instructions += self.cfg.spin_instructions_per_poll;
+                        self.waiting_flag = Some(WaitState {
+                            next_poll_at: now + self.cfg.poll_interval,
+                            ..w
+                        });
+                    }
+                    return;
+                }
+            }
+            let Some(op) = self.peek_op() else {
+                return;
+            };
+            match op {
+                CoreOp::WaitFlag { flag, spin } => {
+                    self.take_op();
+                    self.waiting_flag = Some(WaitState {
+                        flag,
+                        spin,
+                        next_poll_at: now,
+                    });
+                    continue;
+                }
+                CoreOp::SetFlag { flag } => {
+                    // Light fence: publish only once prior work retired.
+                    if !self.rob.is_empty() {
+                        self.stats.stall_fence += 1;
+                        return;
+                    }
+                    self.take_op();
+                    flags.set(flag);
+                    self.stats.instructions += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.rob.len() >= self.cfg.rob {
+                self.stats.stall_rob_full += 1;
+                return;
+            }
+            let (kind, addr, stream, dep) = match op {
+                CoreOp::Load { addr, stream, dep } => {
+                    if self.lq_used >= self.cfg.lq {
+                        self.stats.stall_lq_full += 1;
+                        return;
+                    }
+                    (EntryKind::Load, addr, stream, dep)
+                }
+                CoreOp::Store { addr, stream, dep } => {
+                    if self.sq_used >= self.cfg.sq {
+                        self.stats.stall_sq_full += 1;
+                        return;
+                    }
+                    (EntryKind::Store, addr, stream, dep)
+                }
+                CoreOp::AtomicRmw { addr, stream, dep } => {
+                    if self.lq_used >= self.cfg.lq || self.sq_used >= self.cfg.sq {
+                        self.stats.stall_lq_full += 1;
+                        return;
+                    }
+                    (EntryKind::Atomic { locked: false }, addr, stream, dep)
+                }
+                CoreOp::Alu { dep } => (EntryKind::Alu, 0, 0, dep),
+                CoreOp::Mmio { latency, signal } => {
+                    if self.sq_used >= self.cfg.sq {
+                        self.stats.stall_sq_full += 1;
+                        return;
+                    }
+                    // Stash the latency in `addr`; see `route_ready`.
+                    (EntryKind::Mmio { signal }, latency as Addr, 0, [0, 0])
+                }
+                CoreOp::WaitFlag { .. } | CoreOp::SetFlag { .. } => {
+                    unreachable!("handled before the ROB-entry path")
+                }
+            };
+            self.take_op();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            match kind {
+                EntryKind::Load => self.lq_used += 1,
+                EntryKind::Store | EntryKind::Mmio { .. } => self.sq_used += 1,
+                EntryKind::Atomic { .. } => {
+                    self.lq_used += 1;
+                    self.sq_used += 1;
+                }
+                EntryKind::Alu => {}
+            }
+            // Resolve dependencies.
+            let mut remaining = 0u8;
+            for d in dep {
+                if d == 0 {
+                    continue;
+                }
+                let Some(dep_seq) = seq.checked_sub(d as u64) else {
+                    continue;
+                };
+                if dep_seq < self.head_seq {
+                    continue; // already retired → satisfied
+                }
+                let idx = (dep_seq - self.head_seq) as usize;
+                if self.rob[idx].state == EntryState::Complete {
+                    continue;
+                }
+                self.waiters.entry(dep_seq).or_default().push(seq);
+                remaining += 1;
+            }
+            let state = if remaining == 0 {
+                EntryState::Ready
+            } else {
+                EntryState::Waiting(remaining)
+            };
+            self.rob.push_back(Entry {
+                kind,
+                state,
+                addr,
+                stream,
+            });
+            if state == EntryState::Ready {
+                self.route_ready(seq, now, self.cfg.alu_latency);
+            }
+        }
+    }
+
+    fn peek_op(&mut self) -> Option<CoreOp> {
+        if self.peeked.is_none() && !self.stream_done {
+            self.peeked = self.stream.next_op();
+            if self.peeked.is_none() {
+                self.stream_done = true;
+            }
+        }
+        self.peeked
+    }
+
+    fn take_op(&mut self) {
+        self.peeked = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::VecStream;
+    use dx100_common::flags::FlagBoard;
+
+    /// Fake memory: completes every issue after `latency` cycles.
+    struct FakeMem {
+        latency: Cycle,
+        in_flight: DelayQueue<u64>,
+        peak_outstanding: usize,
+        outstanding: usize,
+    }
+
+    impl FakeMem {
+        fn new(latency: Cycle) -> Self {
+            FakeMem {
+                latency,
+                in_flight: DelayQueue::new(),
+                peak_outstanding: 0,
+                outstanding: 0,
+            }
+        }
+    }
+
+    fn run(core: &mut Core, mem: &mut FakeMem, max_cycles: Cycle) -> Cycle {
+        let mut flags = FlagBoard::new();
+        run_with_flags(core, mem, &mut flags, max_cycles)
+    }
+
+    fn run_with_flags(
+        core: &mut Core,
+        mem: &mut FakeMem,
+        flags: &mut FlagBoard,
+        max_cycles: Cycle,
+    ) -> Cycle {
+        for now in 0..max_cycles {
+            while let Some(seq) = mem.in_flight.pop_ready(now) {
+                mem.outstanding -= 1;
+                core.mem_complete(seq, now);
+            }
+            let latency = mem.latency;
+            let inflight = &mut mem.in_flight;
+            let mut issued_now = 0;
+            core.tick(now, flags, &mut |iss| {
+                inflight.push_at(now + latency, iss.seq);
+                issued_now += 1;
+            });
+            mem.outstanding += issued_now;
+            mem.peak_outstanding = mem.peak_outstanding.max(mem.outstanding);
+            if core.is_done() {
+                return now;
+            }
+        }
+        panic!("core did not finish in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // 16 independent loads at 100-cycle latency should take ~100 cycles,
+        // not 1600: the ROB/LQ expose the parallelism.
+        let ops: Vec<CoreOp> = (0..16).map(|i| CoreOp::load(i * 64, 0)).collect();
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(100);
+        let cycles = run(&mut core, &mut mem, 10_000);
+        assert!(cycles < 130, "independent loads must overlap: {cycles}");
+        assert!(mem.peak_outstanding >= 8);
+        assert_eq!(core.stats().instructions, 16);
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // A chain of 8 dependent loads serializes: ≥ 8 × latency.
+        let ops: Vec<CoreOp> = (0..8)
+            .map(|i| {
+                if i == 0 {
+                    CoreOp::load(0, 0)
+                } else {
+                    CoreOp::load(i * 64, 0).with_dep(1)
+                }
+            })
+            .collect();
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(100);
+        let cycles = run(&mut core, &mut mem, 10_000);
+        assert!(cycles >= 800, "dependent chain must serialize: {cycles}");
+        assert!(mem.peak_outstanding <= 1);
+    }
+
+    #[test]
+    fn lq_bounds_outstanding_loads() {
+        let mut cfg = CoreConfig::paper();
+        cfg.lq = 4;
+        cfg.rob = 224;
+        let ops: Vec<CoreOp> = (0..64).map(|i| CoreOp::load(i * 64, 0)).collect();
+        let mut core = Core::new(0, cfg, Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(50);
+        run(&mut core, &mut mem, 100_000);
+        assert!(mem.peak_outstanding <= 4, "LQ must cap MLP");
+        assert!(core.stats().stall_lq_full > 0);
+    }
+
+    #[test]
+    fn rob_bounds_window() {
+        let mut cfg = CoreConfig::paper();
+        cfg.rob = 8;
+        // A long-latency load followed by many ALUs: the window fills.
+        let mut ops = vec![CoreOp::load(0, 0)];
+        ops.extend((0..64).map(|_| CoreOp::alu()));
+        let mut core = Core::new(0, cfg, Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(200);
+        run(&mut core, &mut mem, 10_000);
+        assert!(core.stats().stall_rob_full > 0, "ROB must fill behind a miss");
+    }
+
+    #[test]
+    fn atomics_serialize_and_pay_lock_latency() {
+        // N plain stores vs N atomics to the same addresses.
+        let n = 32u64;
+        let plain: Vec<CoreOp> = (0..n).map(|i| CoreOp::store(i * 64, 0)).collect();
+        let atomics: Vec<CoreOp> = (0..n).map(|i| CoreOp::atomic(i * 64, 0)).collect();
+        let mut c1 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(plain)));
+        let mut m1 = FakeMem::new(20);
+        let t_plain = run(&mut c1, &mut m1, 100_000);
+        let mut c2 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(atomics)));
+        let mut m2 = FakeMem::new(20);
+        let t_atomic = run(&mut c2, &mut m2, 100_000);
+        let ratio = t_atomic as f64 / t_plain as f64;
+        assert!(ratio > 3.0, "atomics must be several × slower: {ratio:.2}");
+        assert!(m2.peak_outstanding <= 1, "fence caps MLP at 1");
+    }
+
+    #[test]
+    fn width_bounds_alu_throughput() {
+        let n = 800u64;
+        let ops: Vec<CoreOp> = (0..n).map(|_| CoreOp::alu()).collect();
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(1);
+        let cycles = run(&mut core, &mut mem, 10_000);
+        // 8-wide: at least n/8 cycles, and close to it.
+        assert!(cycles as u64 >= n / 8);
+        assert!((cycles as u64) < n / 8 + 32, "ALUs should sustain full width");
+    }
+
+    #[test]
+    fn wait_flag_blocks_until_set() {
+        let ops = vec![
+            CoreOp::WaitFlag {
+                flag: FlagId(0),
+                spin: true,
+            },
+            CoreOp::alu(),
+        ];
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut flags = FlagBoard::new();
+        let flag = flags.alloc();
+        let mut mem = FakeMem::new(1);
+        // Set the flag at cycle 500 from "outside".
+        for now in 0..1000u64 {
+            if now == 500 {
+                flags.set(flag);
+            }
+            while let Some(seq) = mem.in_flight.pop_ready(now) {
+                core.mem_complete(seq, now);
+            }
+            let inflight = &mut mem.in_flight;
+            core.tick(now, &mut flags, &mut |iss| {
+                inflight.push_at(now + 1, iss.seq);
+            });
+            if core.is_done() {
+                assert!(now >= 500, "must not finish before the flag is set");
+                assert!(core.stats().wait_cycles >= 400);
+                assert!(core.stats().spin_instructions > 0);
+                return;
+            }
+        }
+        panic!("core never finished");
+    }
+
+    #[test]
+    fn mmio_signals_delivered_in_order() {
+        let ops = vec![
+            CoreOp::Mmio {
+                latency: 10,
+                signal: None,
+            },
+            CoreOp::Mmio {
+                latency: 10,
+                signal: Some(42),
+            },
+            CoreOp::Mmio {
+                latency: 10,
+                signal: Some(43),
+            },
+        ];
+        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut mem = FakeMem::new(1);
+        let mut flags = FlagBoard::new();
+        let mut signals = Vec::new();
+        for now in 0..200u64 {
+            core.tick(now, &mut flags, &mut |_| {});
+            signals.extend(core.drain_mmio_signals());
+            if core.is_done() {
+                break;
+            }
+            let _ = &mut mem;
+        }
+        assert_eq!(signals, vec![42, 43]);
+        assert_eq!(core.stats().instructions, 3);
+    }
+
+    #[test]
+    fn set_flag_visible_to_other_waiters() {
+        let mut flags = FlagBoard::new();
+        let f = flags.alloc();
+        let setter = vec![CoreOp::alu(), CoreOp::SetFlag { flag: f }];
+        let waiter = vec![CoreOp::WaitFlag { flag: f, spin: false }, CoreOp::alu()];
+        let mut c0 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(setter)));
+        let mut c1 = Core::new(1, CoreConfig::paper(), Box::new(VecStream::new(waiter)));
+        for now in 0..100u64 {
+            c0.tick(now, &mut flags, &mut |_| {});
+            c1.tick(now, &mut flags, &mut |_| {});
+            if c0.is_done() && c1.is_done() {
+                return;
+            }
+        }
+        panic!("flag handoff between cores failed");
+    }
+}

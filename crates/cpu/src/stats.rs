@@ -1,0 +1,90 @@
+//! Per-core execution statistics.
+
+use dx100_common::stats::RunningAverage;
+
+/// Counters for one core's execution.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Cycles the core was active (ticked while not done).
+    pub cycles: u64,
+    /// Retired instructions, including charged spin-loop instructions.
+    pub instructions: u64,
+    /// Instructions charged to spin-wait polling alone.
+    pub spin_instructions: u64,
+    /// Memory operations issued to the L1.
+    pub mem_ops_issued: u64,
+    /// Cycles dispatch was blocked on a wait flag.
+    pub wait_cycles: u64,
+    /// Dispatch stalls: ROB full.
+    pub stall_rob_full: u64,
+    /// Dispatch stalls: load queue full.
+    pub stall_lq_full: u64,
+    /// Dispatch stalls: store queue full.
+    pub stall_sq_full: u64,
+    /// Dispatch stalls: fence (atomic) draining.
+    pub stall_fence: u64,
+    /// Mean ROB occupancy (sampled per cycle).
+    pub rob_occupancy: RunningAverage,
+    /// Mean load-queue occupancy (sampled per cycle).
+    pub lq_occupancy: RunningAverage,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Folds another core's counters into this one (for whole-workload
+    /// aggregates). `cycles` takes the max since cores run concurrently.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.instructions += other.instructions;
+        self.spin_instructions += other.spin_instructions;
+        self.mem_ops_issued += other.mem_ops_issued;
+        self.wait_cycles += other.wait_cycles;
+        self.stall_rob_full += other.stall_rob_full;
+        self.stall_lq_full += other.stall_lq_full;
+        self.stall_sq_full += other.stall_sq_full;
+        self.stall_fence += other.stall_fence;
+        self.rob_occupancy.merge(&other.rob_occupancy);
+        self.lq_occupancy.merge(&other.lq_occupancy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_math() {
+        let s = CoreStats {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_sums_instructions() {
+        let mut a = CoreStats {
+            cycles: 100,
+            instructions: 10,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            cycles: 80,
+            instructions: 20,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.instructions, 30);
+    }
+}

@@ -1,0 +1,462 @@
+//! FR-FCFS memory controller for one channel.
+//!
+//! First-Ready, First-Come-First-Served: column accesses that hit an open row
+//! issue before older requests that need a row switch, which maximizes
+//! row-buffer hits within the visibility window of the request buffer
+//! (32 entries per channel, Table 3). The paper's core observation is that
+//! this window is far too small for sparse indirect accesses — DX100's Row
+//! Table widens effective visibility to an entire 16K-element tile *before*
+//! requests ever reach this buffer.
+
+use std::collections::VecDeque;
+
+use dx100_common::{Cycle, DelayQueue};
+
+use crate::channel::Channel;
+use crate::config::DramConfig;
+use crate::mapping::DramCoord;
+use crate::stats::DramStats;
+use crate::{MemRequest, MemResponse};
+
+/// A request resident in the controller's request buffer.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: MemRequest,
+    coord: DramCoord,
+    bank_idx: usize,
+    arrived_at: Cycle,
+    /// Whether this request triggered its own ACT (row miss) — used for the
+    /// row-buffer hit-rate statistic.
+    caused_act: bool,
+}
+
+/// FR-FCFS controller and its channel.
+#[derive(Debug)]
+pub struct ChannelController {
+    #[allow(dead_code)]
+    channel_id: usize,
+    config: DramConfig,
+    channel: Channel,
+    buffer: VecDeque<Pending>,
+    /// Reads whose data burst is in flight.
+    in_flight: DelayQueue<MemResponse>,
+    stats: DramStats,
+    /// Next refresh due time (tREFI cadence).
+    next_refresh: Cycle,
+    /// While set, the channel is mid-refresh and issues nothing.
+    refresh_until: Cycle,
+}
+
+impl ChannelController {
+    /// Creates a controller for channel `channel_id`.
+    pub fn new(channel_id: usize, config: DramConfig) -> Self {
+        let next_refresh = config.timings.t_refi;
+        ChannelController {
+            channel_id,
+            channel: Channel::new(config.clone()),
+            config,
+            buffer: VecDeque::new(),
+            in_flight: DelayQueue::new(),
+            stats: DramStats::default(),
+            next_refresh,
+            refresh_until: 0,
+        }
+    }
+
+    /// Free request-buffer slots.
+    pub fn free_slots(&self) -> usize {
+        self.config.request_buffer_size - self.buffer.len()
+    }
+
+    /// Attempts to accept a request; `false` when the buffer is full.
+    pub fn try_enqueue(&mut self, req: MemRequest, coord: DramCoord, now: Cycle) -> bool {
+        if self.buffer.len() >= self.config.request_buffer_size {
+            return false;
+        }
+        let bank_idx = coord.bank_index(&self.config.organization);
+        self.buffer.push_back(Pending {
+            req,
+            coord,
+            bank_idx,
+            arrived_at: now,
+            caused_act: false,
+        });
+        true
+    }
+
+    /// Whether the controller has no buffered or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.buffer.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Statistics for this channel.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Clears statistics (ROI boundaries).
+    pub fn reset_stats(&mut self) {
+        let busy_base = self.channel.data_busy_ticks;
+        let act_base = self.channel.activates;
+        let pre_base = self.channel.precharges;
+        self.stats = DramStats {
+            data_busy_base: busy_base,
+            act_base,
+            pre_base,
+            ..DramStats::default()
+        };
+    }
+
+    /// Advances one DRAM tick: deliver completed reads, sample occupancy,
+    /// issue at most one command.
+    pub fn tick(&mut self, now: Cycle, responses: &mut VecDeque<MemResponse>) {
+        while let Some(resp) = self.in_flight.pop_ready(now) {
+            responses.push_back(resp);
+        }
+        self.stats.ticks += 1;
+        self.stats
+            .occupancy
+            .sample(self.buffer.len() as f64 / self.config.request_buffer_size as f64);
+        self.stats.data_busy_ticks = self.channel.data_busy_ticks - self.stats.data_busy_base;
+        self.stats.activates = self.channel.activates - self.stats.act_base;
+        self.stats.precharges = self.channel.precharges - self.stats.pre_base;
+
+        // Refresh: at tREFI cadence, drain (precharge) every bank, then
+        // block the channel for tRFC.
+        if now < self.refresh_until {
+            return;
+        }
+        if now >= self.next_refresh {
+            if self.all_banks_closed() {
+                self.refresh_until = now + self.config.timings.t_rfc;
+                self.next_refresh += self.config.timings.t_refi;
+                self.stats.refreshes += 1;
+                return;
+            }
+            // Close open banks as their timing allows; no new ACT/CAS.
+            self.drain_for_refresh(now);
+            return;
+        }
+
+        if self.buffer.is_empty() {
+            return;
+        }
+
+        // Starvation escape hatch: when the oldest request has waited too
+        // long, consider only that request for every phase this tick.
+        let starving = now.saturating_sub(self.buffer[0].arrived_at) > self.config.starvation_threshold;
+
+        if self.try_issue_cas(now, responses, starving) {
+            return;
+        }
+        if self.try_issue_act(now, starving) {
+            return;
+        }
+        self.try_issue_pre(now, starving);
+    }
+
+    fn all_banks_closed(&self) -> bool {
+        (0..self.channel.num_banks()).all(|b| self.channel.bank(b).open_row().is_none())
+    }
+
+    fn drain_for_refresh(&mut self, now: Cycle) {
+        for b in 0..self.channel.num_banks() {
+            if self.channel.bank(b).open_row().is_some() && self.channel.can_pre(b, now) {
+                self.channel.issue_pre(b, now);
+                return;
+            }
+        }
+    }
+
+    /// Phase 1: oldest pending request whose row is open and whose CAS is
+    /// timing-ready, with no older conflicting same-line access.
+    fn try_issue_cas(
+        &mut self,
+        now: Cycle,
+        responses: &mut VecDeque<MemResponse>,
+        starving: bool,
+    ) -> bool {
+        let limit = if starving { 1 } else { self.buffer.len() };
+        let mut chosen = None;
+        'outer: for i in 0..limit {
+            let p = &self.buffer[i];
+            if !self
+                .channel
+                .can_cas(p.bank_idx, p.coord.bank_group, p.coord.row, p.req.is_write, now)
+            {
+                continue;
+            }
+            // Never reorder conflicting accesses to the same line: an older
+            // pending access (read or write) to the same line must go first.
+            for j in 0..i {
+                let q = &self.buffer[j];
+                if q.req.line == p.req.line && (q.req.is_write || p.req.is_write) {
+                    continue 'outer;
+                }
+            }
+            chosen = Some(i);
+            break;
+        }
+        let Some(i) = chosen else { return false };
+        let p = self.buffer.remove(i).unwrap();
+        let data_end = self.channel.issue_cas(
+            p.bank_idx,
+            p.coord.bank_group,
+            p.coord.row,
+            p.req.is_write,
+            now,
+        );
+        self.stats.row_hits_misses.record(!p.caused_act);
+        self.stats.queue_latency.sample((now - p.arrived_at) as f64);
+        if p.req.is_write {
+            self.stats.writes += 1;
+            responses.push_back(MemResponse {
+                id: p.req.id,
+                line: p.req.line,
+                is_write: true,
+                finished_at: data_end,
+            });
+        } else {
+            self.stats.reads += 1;
+            self.in_flight.push_at(
+                data_end,
+                MemResponse {
+                    id: p.req.id,
+                    line: p.req.line,
+                    is_write: false,
+                    finished_at: data_end,
+                },
+            );
+        }
+        true
+    }
+
+    /// Phase 2: ACT for the oldest request per closed bank.
+    fn try_issue_act(&mut self, now: Cycle, starving: bool) -> bool {
+        let limit = if starving { 1 } else { self.buffer.len() };
+        let mut banks_seen = 0u64;
+        for i in 0..limit {
+            let p = &self.buffer[i];
+            let bank_bit = 1u64 << p.bank_idx;
+            if banks_seen & bank_bit != 0 {
+                continue; // an older request already owns this bank's next command
+            }
+            banks_seen |= bank_bit;
+            if self.channel.bank(p.bank_idx).open_row().is_some() {
+                continue;
+            }
+            if self
+                .channel
+                .can_act(p.bank_idx, p.coord.rank, p.coord.bank_group, now)
+            {
+                let row = p.coord.row;
+                let (bank_idx, rank, bg) = (p.bank_idx, p.coord.rank, p.coord.bank_group);
+                self.buffer[i].caused_act = true;
+                self.channel.issue_act(bank_idx, rank, bg, row, now);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Phase 3: PRE a bank whose open row serves no pending request, on
+    /// behalf of the oldest request that needs that bank.
+    fn try_issue_pre(&mut self, now: Cycle, starving: bool) -> bool {
+        let limit = if starving { 1 } else { self.buffer.len() };
+        let mut banks_seen = 0u64;
+        for i in 0..limit {
+            let p = &self.buffer[i];
+            let bank_bit = 1u64 << p.bank_idx;
+            if banks_seen & bank_bit != 0 {
+                continue;
+            }
+            banks_seen |= bank_bit;
+            let Some(open) = self.channel.bank(p.bank_idx).open_row() else {
+                continue;
+            };
+            if open == p.coord.row {
+                continue;
+            }
+            // Keep the row open while any pending request can still use it —
+            // unless we are in starvation mode, where the oldest wins.
+            if !starving
+                && self
+                    .buffer
+                    .iter()
+                    .any(|q| q.bank_idx == p.bank_idx && q.coord.row == open)
+            {
+                continue;
+            }
+            if self.channel.can_pre(p.bank_idx, now) {
+                self.channel.issue_pre(p.bank_idx, now);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddrMap;
+    use dx100_common::LineAddr;
+
+    fn run_until_drained(ctrl: &mut ChannelController, max_ticks: Cycle) -> Vec<MemResponse> {
+        let mut out = VecDeque::new();
+        let mut now = 0;
+        while !ctrl.is_idle() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+            assert!(now < max_ticks, "controller did not drain in {max_ticks} ticks");
+        }
+        out.into()
+    }
+
+    fn enqueue_line(ctrl: &mut ChannelController, cfg: &DramConfig, id: u64, line: LineAddr, write: bool) {
+        let coord = cfg.addr_map.decode(line, &cfg.organization);
+        assert_eq!(coord.channel, 0, "test lines must map to channel 0");
+        let req = if write {
+            MemRequest::write(id, line)
+        } else {
+            MemRequest::read(id, line)
+        };
+        assert!(ctrl.try_enqueue(req, coord, 0));
+    }
+
+    /// Build a line address with chosen row/col in channel 0, bank 0, bg 0.
+    fn line(cfg: &DramConfig, row: u64, col: u64) -> LineAddr {
+        AddrMap::ChBgColBaRow.encode(
+            DramCoord {
+                channel: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row,
+                col,
+            },
+            &cfg.organization,
+        )
+    }
+
+    #[test]
+    fn single_read_completes_with_cold_latency() {
+        let cfg = DramConfig::ddr4_3200_2ch();
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        enqueue_line(&mut ctrl, &cfg, 1, line(&cfg, 3, 5), false);
+        let resps = run_until_drained(&mut ctrl, 1000);
+        assert_eq!(resps.len(), 1);
+        let t = &cfg.timings;
+        // ACT at 0, CAS at tRCD, data done at tRCD + CL + tBL.
+        assert_eq!(resps[0].finished_at, t.t_rcd + t.cl + t.t_bl);
+    }
+
+    #[test]
+    fn fr_fcfs_reorders_for_row_hits() {
+        let cfg = DramConfig::ddr4_3200_2ch();
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        // Row 1, then row 2, then row 1 again: FR-FCFS should serve both
+        // row-1 requests before switching, giving 1 hit in 3 accesses.
+        enqueue_line(&mut ctrl, &cfg, 1, line(&cfg, 1, 0), false);
+        enqueue_line(&mut ctrl, &cfg, 2, line(&cfg, 2, 0), false);
+        enqueue_line(&mut ctrl, &cfg, 3, line(&cfg, 1, 1), false);
+        let resps = run_until_drained(&mut ctrl, 10_000);
+        let order: Vec<u64> = resps.iter().map(|r| r.id).collect();
+        assert_eq!(order, vec![1, 3, 2], "row-hit request must jump the queue");
+        let s = ctrl.stats();
+        assert_eq!(s.row_hits_misses.hits(), 1);
+        assert_eq!(s.row_hits_misses.misses(), 2);
+    }
+
+    #[test]
+    fn same_line_raw_never_reorders() {
+        let cfg = DramConfig::ddr4_3200_2ch();
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        let l = line(&cfg, 1, 0);
+        enqueue_line(&mut ctrl, &cfg, 1, l, true); // write
+        enqueue_line(&mut ctrl, &cfg, 2, l, false); // read of same line
+        let resps = run_until_drained(&mut ctrl, 10_000);
+        // The write command must issue before the read command even though
+        // both are row hits once open.
+        let widx = resps.iter().position(|r| r.id == 1).unwrap();
+        let ridx = resps.iter().position(|r| r.id == 2).unwrap();
+        // Write CAS issues first; its ack may be queued after the read's
+        // completion only if its data time were later — check issue order via
+        // finished_at ordering instead.
+        assert!(resps[widx].finished_at <= resps[ridx].finished_at || widx < ridx);
+    }
+
+    #[test]
+    fn buffer_back_pressure() {
+        let cfg = DramConfig::ddr4_3200_2ch();
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        for i in 0..cfg.request_buffer_size as u64 {
+            enqueue_line(&mut ctrl, &cfg, i, line(&cfg, i, 0), false);
+        }
+        assert_eq!(ctrl.free_slots(), 0);
+        let coord = cfg.addr_map.decode(line(&cfg, 99, 0), &cfg.organization);
+        assert!(!ctrl.try_enqueue(MemRequest::read(999, line(&cfg, 99, 0)), coord, 0));
+    }
+
+    #[test]
+    fn starving_request_eventually_served() {
+        let mut cfg = DramConfig::ddr4_3200_2ch();
+        cfg.starvation_threshold = 200;
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        // One old request to row 2 buried under a stream of row-1 hits.
+        enqueue_line(&mut ctrl, &cfg, 100, line(&cfg, 1, 0), false);
+        enqueue_line(&mut ctrl, &cfg, 200, line(&cfg, 2, 0), false);
+        let mut out = VecDeque::new();
+        let mut now = 0;
+        let mut col = 1;
+        let mut done_at = None;
+        while done_at.is_none() && now < 100_000 {
+            // Keep refilling row-1 hits so FR would starve row 2 forever.
+            if ctrl.free_slots() > 0 {
+                let l = line(&cfg, 1, col % cfg.organization.cols_per_row);
+                let coord = cfg.addr_map.decode(l, &cfg.organization);
+                ctrl.try_enqueue(MemRequest::read(1000 + col, l), coord, now);
+                col += 1;
+            }
+            ctrl.tick(now, &mut out);
+            if out.iter().any(|r| r.id == 200) {
+                done_at = Some(now);
+            }
+            out.clear();
+            now += 1;
+        }
+        assert!(done_at.is_some(), "request to row 2 starved");
+    }
+
+    #[test]
+    fn streaming_reads_saturate_bandwidth() {
+        // A full row of consecutive columns across all 4 bank groups should
+        // approach one burst per tCCD_S once rows are open.
+        let cfg = DramConfig::ddr4_3200_2ch();
+        let mut ctrl = ChannelController::new(0, cfg.clone());
+        let mut out = VecDeque::new();
+        let mut now = 0;
+        let mut sent = 0u64;
+        let total = 512u64;
+        let mut got = 0;
+        while got < total && now < 200_000 {
+            // Stream across bank groups: line addresses with channel bit 0.
+            while sent < total && ctrl.free_slots() > 0 {
+                let l = LineAddr(sent * cfg.organization.channels as u64);
+                let coord = cfg.addr_map.decode(l, &cfg.organization);
+                assert_eq!(coord.channel, 0);
+                ctrl.try_enqueue(MemRequest::read(sent, l), coord, now);
+                sent += 1;
+            }
+            ctrl.tick(now, &mut out);
+            got += out.len() as u64;
+            out.clear();
+            now += 1;
+        }
+        assert_eq!(got, total);
+        let s = ctrl.stats();
+        let util = s.data_busy_ticks as f64 / s.ticks as f64;
+        assert!(util > 0.75, "streaming utilization too low: {util}");
+        assert!(s.row_hits_misses.rate() > 0.9, "stream should be row hits");
+    }
+}

@@ -1,0 +1,226 @@
+//! Physical-address ↔ DRAM-coordinate mapping.
+//!
+//! The mapping determines which bits of a cache-line address select the
+//! channel, bank group, bank, row, and column — and therefore how much
+//! channel/bank-group parallelism a given access stream enjoys. The default
+//! scheme interleaves consecutive lines across channels and bank groups (as
+//! server memory controllers do); an alternative column-major scheme is kept
+//! for the interleaving ablation.
+//!
+//! Both directions are implemented: `decode` (address → coordinates) drives
+//! the simulator, while `encode` (coordinates → address) lets the
+//! microbenchmarks of Figure 8 construct index patterns with exact
+//! row-buffer-hit and interleaving properties.
+
+use crate::config::Organization;
+use dx100_common::LineAddr;
+
+/// DRAM coordinates of one cache-line column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank group within the rank.
+    pub bank_group: usize,
+    /// Bank within the bank group.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Cache-line column within the row.
+    pub col: u64,
+}
+
+impl DramCoord {
+    /// Flat bank index within the channel (rank-major).
+    pub fn bank_index(&self, org: &Organization) -> usize {
+        org.bank_index(self.rank, self.bank_group, self.bank)
+    }
+}
+
+/// Address-mapping schemes, named LSB-first by the field each bit range
+/// selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AddrMap {
+    /// `channel : bank-group : column : bank : rank : row` (LSB → MSB).
+    ///
+    /// Consecutive cache lines alternate channels, then bank groups, so
+    /// streaming accesses achieve full channel and bank-group interleaving —
+    /// the scheme the paper's baseline assumes.
+    #[default]
+    ChBgColBaRow,
+    /// `channel : column : bank-group : bank : rank : row` (LSB → MSB).
+    ///
+    /// Consecutive lines walk a whole row in one bank before switching bank
+    /// group; streams become `tCCD_L`-bound. Used by the interleaving
+    /// ablation.
+    ChColBgBaRow,
+}
+
+fn ilog2(v: usize) -> u32 {
+    debug_assert!(v.is_power_of_two(), "organization dims must be powers of two");
+    v.trailing_zeros()
+}
+
+impl AddrMap {
+    /// Decodes a cache-line address into DRAM coordinates.
+    pub fn decode(self, line: LineAddr, org: &Organization) -> DramCoord {
+        let mut bits = line.0;
+        let mut take = |n: u32| -> u64 {
+            let v = bits & ((1u64 << n) - 1);
+            bits >>= n;
+            v
+        };
+        let ch_b = ilog2(org.channels);
+        let bg_b = ilog2(org.bank_groups);
+        let ba_b = ilog2(org.banks_per_group);
+        let ra_b = ilog2(org.ranks);
+        let co_b = ilog2(org.cols_per_row as usize);
+        match self {
+            AddrMap::ChBgColBaRow => {
+                let channel = take(ch_b) as usize;
+                let bank_group = take(bg_b) as usize;
+                let col = take(co_b);
+                let bank = take(ba_b) as usize;
+                let rank = take(ra_b) as usize;
+                let row = bits;
+                DramCoord {
+                    channel,
+                    rank,
+                    bank_group,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            AddrMap::ChColBgBaRow => {
+                let channel = take(ch_b) as usize;
+                let col = take(co_b);
+                let bank_group = take(bg_b) as usize;
+                let bank = take(ba_b) as usize;
+                let rank = take(ra_b) as usize;
+                let row = bits;
+                DramCoord {
+                    channel,
+                    rank,
+                    bank_group,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+
+    /// Encodes DRAM coordinates back into a cache-line address; exact inverse
+    /// of [`AddrMap::decode`].
+    pub fn encode(self, coord: DramCoord, org: &Organization) -> LineAddr {
+        let ch_b = ilog2(org.channels);
+        let bg_b = ilog2(org.bank_groups);
+        let ba_b = ilog2(org.banks_per_group);
+        let ra_b = ilog2(org.ranks);
+        let co_b = ilog2(org.cols_per_row as usize);
+        let mut bits: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut put = |v: u64, n: u32| {
+            debug_assert!(n == 64 || v < (1u64 << n), "field value out of range");
+            bits |= v << shift;
+            shift += n;
+        };
+        match self {
+            AddrMap::ChBgColBaRow => {
+                put(coord.channel as u64, ch_b);
+                put(coord.bank_group as u64, bg_b);
+                put(coord.col, co_b);
+                put(coord.bank as u64, ba_b);
+                put(coord.rank as u64, ra_b);
+                bits |= coord.row << shift;
+            }
+            AddrMap::ChColBgBaRow => {
+                put(coord.channel as u64, ch_b);
+                put(coord.col, co_b);
+                put(coord.bank_group as u64, bg_b);
+                put(coord.bank as u64, ba_b);
+                put(coord.rank as u64, ra_b);
+                bits |= coord.row << shift;
+            }
+        }
+        LineAddr(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn org() -> Organization {
+        DramConfig::ddr4_3200_2ch().organization
+    }
+
+    #[test]
+    fn default_map_interleaves_channels_then_bank_groups() {
+        let org = org();
+        let m = AddrMap::ChBgColBaRow;
+        let c0 = m.decode(LineAddr(0), &org);
+        let c1 = m.decode(LineAddr(1), &org);
+        let c2 = m.decode(LineAddr(2), &org);
+        assert_eq!(c0.channel, 0);
+        assert_eq!(c1.channel, 1);
+        // After the channel bit, the next bits pick the bank group.
+        assert_eq!(c2.channel, 0);
+        assert_eq!(c2.bank_group, 1);
+        assert_eq!(c0.bank_group, 0);
+    }
+
+    #[test]
+    fn column_major_map_stays_in_one_bank_group() {
+        let org = org();
+        let m = AddrMap::ChColBgBaRow;
+        for i in 0..(org.cols_per_row * 2) {
+            let c = m.decode(LineAddr(i), &org);
+            // Even lines are channel 0; all of them land in bank group 0
+            // until a whole row's worth of columns has been consumed.
+            if i % 2 == 0 {
+                assert_eq!(c.channel, 0);
+                assert_eq!(c.bank_group, 0, "line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_inverse_of_decode() {
+        let org = org();
+        for map in [AddrMap::ChBgColBaRow, AddrMap::ChColBgBaRow] {
+            for raw in [0u64, 1, 2, 17, 12345, 0xf_ffff, 0xdead_beef] {
+                let line = LineAddr(raw);
+                let coord = map.decode(line, &org);
+                assert_eq!(map.encode(coord, &org), line, "{map:?} {raw:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fields_in_range() {
+        let org = org();
+        for raw in 0..4096u64 {
+            let c = AddrMap::ChBgColBaRow.decode(LineAddr(raw), &org);
+            assert!(c.channel < org.channels);
+            assert!(c.bank_group < org.bank_groups);
+            assert!(c.bank < org.banks_per_group);
+            assert!(c.rank < org.ranks);
+            assert!(c.col < org.cols_per_row);
+        }
+    }
+
+    #[test]
+    fn distinct_addresses_decode_distinctly() {
+        let org = org();
+        let mut seen = std::collections::HashSet::new();
+        for raw in 0..8192u64 {
+            let c = AddrMap::ChBgColBaRow.decode(LineAddr(raw), &org);
+            assert!(seen.insert((c.channel, c.rank, c.bank_group, c.bank, c.row, c.col)));
+        }
+    }
+}

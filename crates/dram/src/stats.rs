@@ -1,0 +1,141 @@
+//! DRAM statistics: the measured quantities behind Figures 8 and 10.
+
+use dx100_common::stats::{Ratio, RunningAverage};
+
+/// Per-channel (or aggregated) DRAM statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DramStats {
+    /// DRAM ticks elapsed since the last stats reset.
+    pub ticks: u64,
+    /// Data-bus busy ticks since the last reset (bandwidth numerator).
+    pub data_busy_ticks: u64,
+    /// Read CAS commands completed.
+    pub reads: u64,
+    /// Write CAS commands completed.
+    pub writes: u64,
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// Row-buffer hits vs misses, counted per serviced request: a request is
+    /// a hit if it was served from a row opened by *another* request.
+    pub row_hits_misses: Ratio,
+    /// Mean request-buffer occupancy as a fraction of capacity, sampled every
+    /// tick (the paper's Figure 10c metric).
+    pub occupancy: RunningAverage,
+    /// Mean queuing latency of serviced requests in ticks.
+    pub queue_latency: RunningAverage,
+    /// Refresh cycles performed.
+    pub refreshes: u64,
+    /// Internal: counter baselines captured at the last reset.
+    pub(crate) data_busy_base: u64,
+    pub(crate) act_base: u64,
+    pub(crate) pre_base: u64,
+}
+
+impl DramStats {
+    /// Fraction of data-bus ticks that carried data, in `[0, 1]`.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.data_busy_ticks as f64 / self.ticks as f64
+        }
+    }
+
+    /// Achieved bandwidth in GB/s for a given per-channel peak.
+    pub fn bandwidth_gbps(&self, peak_per_channel_gbps: f64) -> f64 {
+        self.bandwidth_utilization() * peak_per_channel_gbps
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        self.row_hits_misses.rate()
+    }
+
+    /// Total serviced requests.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Folds another channel's statistics into this aggregate.
+    ///
+    /// Channels tick in lockstep, so `ticks` is the max rather than the sum;
+    /// utilization then averages correctly across channels because
+    /// `data_busy_ticks` sums.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.data_busy_ticks += other.data_busy_ticks;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.row_hits_misses.merge(&other.row_hits_misses);
+        self.occupancy.merge(&other.occupancy);
+        self.queue_latency.merge(&other.queue_latency);
+        self.ticks = self.ticks.max(other.ticks);
+    }
+}
+
+/// Bandwidth utilization when `data_busy_ticks` spans multiple channels: the
+/// utilization of the *system* is busy-ticks divided by `channels × ticks`.
+pub fn system_bandwidth_utilization(agg: &DramStats, channels: usize) -> f64 {
+    if agg.ticks == 0 {
+        0.0
+    } else {
+        agg.data_busy_ticks as f64 / (agg.ticks as f64 * channels as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = DramStats {
+            ticks: 100,
+            data_busy_ticks: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.bandwidth_utilization(), 0.4);
+        assert!((s.bandwidth_gbps(25.6) - 10.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = DramStats {
+            ticks: 100,
+            data_busy_ticks: 10,
+            reads: 5,
+            ..Default::default()
+        };
+        let b = DramStats {
+            ticks: 100,
+            data_busy_ticks: 30,
+            reads: 7,
+            writes: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ticks, 100);
+        assert_eq!(a.data_busy_ticks, 40);
+        assert_eq!(a.reads, 12);
+        assert_eq!(a.writes, 2);
+        assert_eq!(system_bandwidth_utilization(&a, 2), 0.2);
+    }
+
+    #[test]
+    fn merge_preserves_hit_rate() {
+        let mut a = DramStats::default();
+        a.row_hits_misses.hit();
+        a.row_hits_misses.miss();
+        let mut b = DramStats::default();
+        b.row_hits_misses.hit();
+        b.row_hits_misses.hit();
+        a.merge(&b);
+        assert_eq!(a.row_hits_misses.hits(), 3);
+        assert_eq!(a.row_hits_misses.misses(), 1);
+        assert_eq!(a.row_buffer_hit_rate(), 0.75);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cache and hierarchy configuration (paper Table 3).
+
+/// Parameters of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in CPU cycles (lookup pipeline depth).
+    pub latency: u64,
+    /// Miss Status Holding Registers: bound on outstanding misses.
+    pub mshrs: usize,
+    /// Whether a stride prefetcher is attached to this level.
+    pub stride_prefetcher: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets (capacity / ways / 64-byte lines).
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / 64 / self.ways as u64) as usize
+    }
+
+    /// Table 3 L1D: 32 KB, 8-way, 4 cycles, 16 MSHRs, stride prefetcher.
+    pub fn paper_l1d() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            latency: 4,
+            mshrs: 16,
+            stride_prefetcher: true,
+        }
+    }
+
+    /// Table 3 L2: 256 KB, 4-way, 12 cycles, 32 MSHRs, stride prefetcher.
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 4,
+            latency: 12,
+            mshrs: 32,
+            stride_prefetcher: true,
+        }
+    }
+
+    /// Table 3 LLC for the baseline/DMP systems: 10 MB, 20-way, 42 cycles,
+    /// 256 MSHRs. (The baseline gets 2 MB extra LLC to offset DX100's
+    /// scratchpad area, per Section 5.)
+    pub fn paper_llc_baseline() -> Self {
+        CacheConfig {
+            size_bytes: 10 * 1024 * 1024,
+            ways: 20,
+            latency: 42,
+            mshrs: 256,
+            stride_prefetcher: false,
+        }
+    }
+
+    /// Table 3 LLC for the DX100 system: 8 MB, 16-way, 42 cycles, 256 MSHRs.
+    pub fn paper_llc_dx100() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024 * 1024,
+            ways: 16,
+            latency: 42,
+            mshrs: 256,
+            stride_prefetcher: false,
+        }
+    }
+}
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores (one private L1D + L2 each).
+    pub cores: usize,
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Per-core L2 cache.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// Link latency between adjacent levels in CPU cycles (NoC hop).
+    pub link_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's baseline memory hierarchy for `cores` cores (10 MB LLC).
+    pub fn paper_baseline(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1: CacheConfig::paper_l1d(),
+            l2: CacheConfig::paper_l2(),
+            llc: CacheConfig::paper_llc_baseline(),
+            link_latency: 2,
+        }
+    }
+
+    /// The paper's DX100-system hierarchy for `cores` cores (8 MB LLC; the
+    /// area difference funds the accelerator's 2 MB scratchpad).
+    pub fn paper_dx100(cores: usize) -> Self {
+        HierarchyConfig {
+            llc: CacheConfig::paper_llc_dx100(),
+            ..Self::paper_baseline(cores)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_counts_match_geometry() {
+        assert_eq!(CacheConfig::paper_l1d().sets(), 64);
+        assert_eq!(CacheConfig::paper_l2().sets(), 1024);
+        assert_eq!(CacheConfig::paper_llc_baseline().sets(), 8192);
+        assert_eq!(CacheConfig::paper_llc_dx100().sets(), 8192);
+    }
+
+    #[test]
+    fn paper_configs_match_table3() {
+        let l1 = CacheConfig::paper_l1d();
+        assert_eq!((l1.size_bytes, l1.ways, l1.latency, l1.mshrs), (32768, 8, 4, 16));
+        let l2 = CacheConfig::paper_l2();
+        assert_eq!((l2.size_bytes, l2.ways, l2.latency, l2.mshrs), (262144, 4, 12, 32));
+        let llc = CacheConfig::paper_llc_baseline();
+        assert_eq!((llc.ways, llc.latency, llc.mshrs), (20, 42, 256));
+    }
+}

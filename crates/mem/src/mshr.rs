@@ -1,0 +1,121 @@
+//! Miss Status Holding Registers: track outstanding misses, coalesce
+//! same-line requests, and bound memory-level parallelism.
+
+use std::collections::HashMap;
+
+use dx100_common::LineAddr;
+
+use crate::Access;
+
+/// Outcome of registering a miss with the MSHR file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the miss must be forwarded downstream.
+    Allocated,
+    /// Coalesced into an existing entry for the same line; no new
+    /// downstream request is needed.
+    Coalesced,
+    /// All MSHRs are busy; the access must retry later. This is the
+    /// structural MLP limit the paper highlights.
+    Full,
+}
+
+/// A file of MSHRs for one cache level.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<Access>>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Registers a missing `access`. See [`MshrOutcome`].
+    pub fn register(&mut self, access: Access) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&access.line) {
+            waiters.push(access);
+            return MshrOutcome::Coalesced;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(access.line, vec![access]);
+        MshrOutcome::Allocated
+    }
+
+    /// Releases the entry for `line`, returning every coalesced waiter.
+    /// Returns an empty vec if no entry existed (e.g. an unsolicited fill).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<Access> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether a miss for `line` is already outstanding.
+    pub fn is_pending(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of allocated registers.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no registers are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total register count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Requester;
+
+    fn acc(id: u64, line: u64) -> Access {
+        Access::load(id, LineAddr(line), 0, Requester::Core(0))
+    }
+
+    #[test]
+    fn allocate_then_coalesce() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.register(acc(1, 10)), MshrOutcome::Allocated);
+        assert_eq!(m.register(acc(2, 10)), MshrOutcome::Coalesced);
+        assert_eq!(m.in_use(), 1);
+        let waiters = m.complete(LineAddr(10));
+        assert_eq!(waiters.len(), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.register(acc(1, 10)), MshrOutcome::Allocated);
+        assert_eq!(m.register(acc(2, 20)), MshrOutcome::Full);
+        // Same line still coalesces even at capacity.
+        assert_eq!(m.register(acc(3, 10)), MshrOutcome::Coalesced);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = MshrFile::new(1);
+        assert!(m.complete(LineAddr(99)).is_empty());
+    }
+
+    #[test]
+    fn pending_query() {
+        let mut m = MshrFile::new(4);
+        assert!(!m.is_pending(LineAddr(3)));
+        m.register(acc(1, 3));
+        assert!(m.is_pending(LineAddr(3)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared op channels: the driver appends micro-ops or whole lazy streams;
+//! the core drains them.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use dx100_cpu::{CoreOp, OpStream};
+
+enum Segment {
+    Ops(VecDeque<CoreOp>),
+    Gen(Box<dyn OpStream>),
+}
+
+/// Interior of one core's channel.
+#[derive(Default)]
+pub struct ChannelInner {
+    segments: VecDeque<Segment>,
+}
+
+impl Default for Segment {
+    fn default() -> Self {
+        Segment::Ops(VecDeque::new())
+    }
+}
+
+impl ChannelInner {
+    /// Appends literal ops (merged into a trailing op segment).
+    pub fn push_ops<I: IntoIterator<Item = CoreOp>>(&mut self, ops: I) {
+        if let Some(Segment::Ops(q)) = self.segments.back_mut() {
+            q.extend(ops);
+            return;
+        }
+        self.segments.push_back(Segment::Ops(ops.into_iter().collect()));
+    }
+
+    /// Appends a lazy generator to run after everything queued so far.
+    pub fn push_stream(&mut self, gen: Box<dyn OpStream>) {
+        self.segments.push_back(Segment::Gen(gen));
+    }
+
+    fn next_op(&mut self) -> Option<CoreOp> {
+        loop {
+            match self.segments.front_mut() {
+                None => return None,
+                Some(Segment::Ops(q)) => match q.pop_front() {
+                    Some(op) => return Some(op),
+                    None => {
+                        self.segments.pop_front();
+                    }
+                },
+                Some(Segment::Gen(g)) => match g.next_op() {
+                    Some(op) => return Some(op),
+                    None => {
+                        self.segments.pop_front();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Whether nothing is queued (generators count as non-empty until they
+    /// report exhaustion).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+            || self
+                .segments
+                .iter()
+                .all(|s| matches!(s, Segment::Ops(q) if q.is_empty()))
+    }
+}
+
+/// Shared handle to a core's channel: the [`System`](crate::System) holds
+/// one side for the driver, the core holds the other as its op stream.
+#[derive(Clone, Default)]
+pub struct ChannelStream(pub Rc<RefCell<ChannelInner>>);
+
+impl ChannelStream {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OpStream for ChannelStream {
+    fn next_op(&mut self) -> Option<CoreOp> {
+        self.0.borrow_mut().next_op()
+    }
+}
+
+impl std::fmt::Debug for ChannelStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelStream")
+            .field("empty", &self.0.borrow().is_empty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dx100_cpu::VecStream;
+
+    #[test]
+    fn ops_then_stream_then_ops() {
+        let ch = ChannelStream::new();
+        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
+        ch.0.borrow_mut()
+            .push_stream(Box::new(VecStream::new(vec![CoreOp::load(64, 1)])));
+        ch.0.borrow_mut().push_ops([CoreOp::store(128, 2)]);
+        let mut s = ch.clone();
+        assert_eq!(s.next_op(), Some(CoreOp::alu()));
+        assert_eq!(s.next_op(), Some(CoreOp::load(64, 1)));
+        assert_eq!(s.next_op(), Some(CoreOp::store(128, 2)));
+        assert_eq!(s.next_op(), None);
+        // Refill after exhaustion works (driver appends later).
+        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
+        assert_eq!(s.next_op(), Some(CoreOp::alu()));
+    }
+
+    #[test]
+    fn trailing_ops_merge() {
+        let ch = ChannelStream::new();
+        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
+        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
+        assert_eq!(ch.0.borrow().segments.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! The driver abstraction: the "software" of a workload.
+//!
+//! A driver is a state machine polled once per simulated cycle. It stands in
+//! for the program running on the cores: it installs micro-op streams
+//! (timing), sends DX100 instructions through timed MMIO stores, blocks
+//! cores on ready flags, reads tiles/memory functionally, and decides what
+//! happens next. Control flow that in real life lives in C code (tile
+//! loops, BFS frontier iterations, phase barriers) lives in `poll`.
+
+use crate::system::System;
+
+/// Result of one driver poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverStatus {
+    /// More work remains (or the driver is waiting on the machine).
+    Running,
+    /// The workload has issued everything; the run ends when the machine
+    /// drains.
+    Done,
+}
+
+/// A workload's software side. See the module docs.
+pub trait Driver {
+    /// Called every cycle. Must be cheap when waiting (check a flag or core
+    /// idleness and return).
+    fn poll(&mut self, sys: &mut System) -> DriverStatus;
+}
+
+/// A driver that immediately finishes — useful to drain pre-loaded op
+/// streams (pure baseline runs with no phase logic).
+#[derive(Debug, Default)]
+pub struct NullDriver;
+
+impl Driver for NullDriver {
+    fn poll(&mut self, _sys: &mut System) -> DriverStatus {
+        DriverStatus::Done
+    }
+}

@@ -1,0 +1,106 @@
+//! Run statistics: the measured quantities behind Figures 8–14.
+
+use dx100_core::Dx100Stats;
+use dx100_cpu::CoreStats;
+use dx100_dram::stats::system_bandwidth_utilization;
+use dx100_dram::DramStats;
+use dx100_mem::HierarchyStats;
+
+/// Everything measured over one region of interest.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// ROI length in CPU cycles.
+    pub cycles: u64,
+    /// Total retired core instructions (including charged spin polls).
+    pub instructions: u64,
+    /// Aggregated core counters.
+    pub core: CoreStats,
+    /// Aggregated DRAM counters.
+    pub dram: DramStats,
+    /// DRAM channel count (for utilization normalization).
+    pub dram_channels: usize,
+    /// Cache-hierarchy counters.
+    pub hierarchy: HierarchyStats,
+    /// DX100 counters, when an accelerator was present.
+    pub dx100: Option<Dx100Stats>,
+    /// DMP prefetches issued, when the prefetcher was present.
+    pub dmp_prefetches: u64,
+}
+
+impl RunStats {
+    /// DRAM bandwidth utilization in `[0, 1]` across all channels.
+    pub fn bandwidth_utilization(&self) -> f64 {
+        system_bandwidth_utilization(&self.dram, self.dram_channels)
+    }
+
+    /// Achieved DRAM bandwidth in GB/s (25.6 GB/s per DDR4-3200 channel).
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_utilization() * 25.6 * self.dram_channels as f64
+    }
+
+    /// DRAM row-buffer hit rate in `[0, 1]`.
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        self.dram.row_buffer_hit_rate()
+    }
+
+    /// Mean request-buffer occupancy as a fraction of capacity (Fig 10c).
+    pub fn request_buffer_occupancy(&self) -> f64 {
+        self.dram.occupancy.mean()
+    }
+
+    /// LLC misses per kilo-instruction (Fig 11b's headline metric).
+    pub fn llc_mpki(&self) -> f64 {
+        self.hierarchy.llc.mpki(self.instructions)
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        self.hierarchy.l2.mpki(self.instructions)
+    }
+
+    /// Total cache MPKI across private and shared levels.
+    pub fn total_mpki(&self) -> f64 {
+        (self.hierarchy.l1.demand_misses
+            + self.hierarchy.l2.demand_misses
+            + self.hierarchy.llc.demand_misses) as f64
+            * 1000.0
+            / self.instructions.max(1) as f64
+    }
+
+    /// Speedup of this run relative to `baseline` (cycles ratio).
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            instructions: 1000,
+            core: CoreStats::default(),
+            dram: DramStats::default(),
+            dram_channels: 2,
+            hierarchy: HierarchyStats::default(),
+            dx100: None,
+            dmp_prefetches: 0,
+        }
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = stats(1000);
+        let fast = stats(250);
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_uses_instructions() {
+        let mut s = stats(100);
+        s.hierarchy.llc.demand_misses = 50;
+        assert!((s.llc_mpki() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,831 @@
+//! The assembled machine and its cycle loop.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dx100_common::flags::{FlagBoard, FlagId};
+use dx100_common::{Addr, CoreId, Cycle, DelayQueue, LineAddr, ReqId};
+use dx100_core::isa::{Instruction, RegId, TileId};
+use dx100_core::{Dx100Engine, MemPorts, MemoryImage};
+use dx100_cpu::{Core, CoreOp, MemKind, OpStream};
+use dx100_dram::{DramSystem, MemRequest};
+use dx100_mem::{Access, DramBound, MemoryHierarchy, Requester};
+use dx100_prefetch::Dmp;
+
+use crate::channel::ChannelStream;
+use crate::config::SystemConfig;
+use crate::driver::{Driver, DriverStatus};
+use crate::region::{RegionCoherence, RegionGrant};
+use crate::stats::RunStats;
+
+/// Where a DRAM-level request originated.
+#[derive(Debug, Clone, Copy)]
+enum DramOrigin {
+    /// LLC demand/prefetch miss: fill the hierarchy on completion.
+    HierRead,
+    /// LLC write-back: fire and forget.
+    HierWrite,
+    /// DX100 direct injection: deliver to the engine's response inbox.
+    Dx100 { engine: usize, id: ReqId },
+}
+
+/// Deferred driver-side effects executed when a core's MMIO store lands.
+#[derive(Debug)]
+enum MmioAction {
+    PushInstr {
+        engine: usize,
+        instr: Instruction,
+        flag: Option<FlagId>,
+    },
+    WriteReg {
+        engine: usize,
+        reg: RegId,
+        value: u64,
+    },
+    WriteTile {
+        engine: usize,
+        tile: TileId,
+        data: Vec<u64>,
+    },
+}
+
+/// Mask separating a DX100 instance's LLC-request ids.
+const ENGINE_ID_SHIFT: u32 = 56;
+
+/// Page granularity of the directory's H-bits (4 KiB).
+const PAGE_SHIFT: u32 = 12;
+
+/// One MMIO event waiting in a per-engine delivery queue. Everything a
+/// core sends to an engine — register writes, tile writes, instructions —
+/// must apply in device order: an instruction stalled on region
+/// acquisition snapshots its scalar registers at delivery, so a younger
+/// register write overtaking it would corrupt the snapshot.
+#[derive(Debug)]
+enum PendingMmio {
+    Instr {
+        instr: Instruction,
+        flag: Option<FlagId>,
+        /// Earliest delivery time (region-acquisition latency).
+        ready_at: Cycle,
+        /// The region grant was already counted; do not re-request.
+        acquired: bool,
+    },
+    Reg {
+        reg: RegId,
+        value: u64,
+    },
+    Tile {
+        tile: TileId,
+        data: Vec<u64>,
+    },
+}
+
+/// The full simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    clock: Cycle,
+    cores: Vec<Core>,
+    channels: Vec<ChannelStream>,
+    hier: MemoryHierarchy,
+    dram: DramSystem,
+    engines: Vec<Dx100Engine>,
+    core_engine: Vec<usize>,
+    dmp: Option<Dmp>,
+    flags: FlagBoard,
+    image: MemoryImage,
+    actions: Vec<Option<MmioAction>>,
+    dram_pending: HashMap<ReqId, DramOrigin>,
+    next_dram_id: ReqId,
+    dram_retry: VecDeque<(MemRequest, DramOrigin)>,
+    spd_fills: DelayQueue<LineAddr>,
+    region: RegionCoherence,
+    /// Pages whose data the host produced through its caches (the
+    /// directory's page-level H-bits): DX100 accesses to these route via
+    /// the LLC, where misses allocate, capturing any reuse.
+    host_pages: HashSet<u64>,
+    /// Per-engine in-order MMIO delivery queues (multi-instance only):
+    /// region acquisition may delay the head, but never reorders.
+    instr_delivery: Vec<VecDeque<PendingMmio>>,
+    /// (engine, handle) → region base, for release on retire.
+    region_pins: HashMap<(usize, u64), Addr>,
+    roi_start: Cycle,
+    roi_snapshot: Option<RunStats>,
+    issue_scratch: Vec<(CoreId, dx100_cpu::MemIssue)>,
+    to_dram_scratch: Vec<DramBound>,
+}
+
+impl System {
+    /// Builds the machine over an application memory image.
+    pub fn new(cfg: SystemConfig, image: MemoryImage) -> Self {
+        let channels: Vec<ChannelStream> = (0..cfg.cores).map(|_| ChannelStream::new()).collect();
+        let cores = (0..cfg.cores)
+            .map(|c| Core::new(c, cfg.core.clone(), Box::new(channels[c].clone())))
+            .collect();
+        let hier = MemoryHierarchy::new(cfg.hierarchy.clone());
+        let dram = DramSystem::new(cfg.dram.clone());
+        let mut engines = Vec::new();
+        if let Some(dxcfg) = &cfg.dx100 {
+            for i in 0..cfg.dx100_instances {
+                let mut e = Dx100Engine::new(dxcfg.clone(), &cfg.dram);
+                e.set_spd_base(dx100_core::engine::SPD_REGION_BASE + ((i as u64) << 40));
+                e.preload_ptes(0, image.high_water());
+                engines.push(e);
+            }
+        }
+        let instances = engines.len().max(1);
+        let per = cfg.cores.div_ceil(instances);
+        let core_engine = (0..cfg.cores).map(|c| c / per).collect();
+        let dmp = cfg.dmp.map(|d| Dmp::new(d, cfg.cores));
+        let instr_delivery = (0..engines.len()).map(|_| VecDeque::new()).collect();
+        System {
+            clock: 0,
+            cores,
+            channels,
+            hier,
+            dram,
+            engines,
+            core_engine,
+            dmp,
+            flags: FlagBoard::new(),
+            image,
+            actions: Vec::new(),
+            dram_pending: HashMap::new(),
+            next_dram_id: 0,
+            dram_retry: VecDeque::new(),
+            spd_fills: DelayQueue::new(),
+            region: RegionCoherence::new(),
+            host_pages: HashSet::new(),
+            instr_delivery,
+            region_pins: HashMap::new(),
+            roi_start: 0,
+            roi_snapshot: None,
+            issue_scratch: Vec::new(),
+            to_dram_scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driver-facing API (the "software" view of the machine)
+    // ------------------------------------------------------------------
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.clock
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cfg.cores
+    }
+
+    /// Allocates a synchronization flag.
+    pub fn alloc_flag(&mut self) -> FlagId {
+        self.flags.alloc()
+    }
+
+    /// Reads a flag.
+    pub fn flag(&self, f: FlagId) -> bool {
+        self.flags.get(f)
+    }
+
+    /// Clears a flag for reuse.
+    pub fn clear_flag(&mut self, f: FlagId) {
+        self.flags.clear(f);
+    }
+
+    /// Declares `[base, base + bytes)` as host-produced: a preceding phase
+    /// of the application wrote it through the cores' caches, so the
+    /// coherence directory's page-level H-bits are set and DX100 accesses
+    /// to these pages route via the LLC rather than directly to DRAM.
+    /// LLC misses on this path allocate, so cross-tile reuse is captured —
+    /// a false-positive H-bit costs one LLC lookup, exactly the paper's
+    /// stated trade-off. Kernels call this for arrays the host computes
+    /// between offload phases (CG's `x`, hash-join build tables, UME mesh
+    /// values); data only ever touched by DX100 keeps the direct-DRAM path.
+    pub fn mark_host_resident(&mut self, base: Addr, bytes: u64) {
+        let first = base >> PAGE_SHIFT;
+        let last = (base + bytes.max(1) - 1) >> PAGE_SHIFT;
+        for p in first..=last {
+            self.host_pages.insert(p);
+        }
+    }
+
+    /// Appends literal micro-ops to a core's program.
+    pub fn push_ops<I: IntoIterator<Item = CoreOp>>(&mut self, core: CoreId, ops: I) {
+        self.channels[core].0.borrow_mut().push_ops(ops);
+        self.cores[core].nudge();
+    }
+
+    /// Appends a lazy op generator to a core's program.
+    pub fn push_stream(&mut self, core: CoreId, gen: Box<dyn OpStream>) {
+        self.channels[core].0.borrow_mut().push_stream(gen);
+        self.cores[core].nudge();
+    }
+
+    /// Blocks the core on `flag` (the `wait` API; `spin` charges poll
+    /// instructions, modeling OpenMP critical sections).
+    pub fn push_wait(&mut self, core: CoreId, flag: FlagId, spin: bool) {
+        self.push_ops(core, [CoreOp::WaitFlag { flag, spin }]);
+    }
+
+    /// Sends a DX100 instruction from `core`: three timed 64-bit MMIO
+    /// stores; the instruction enters the accelerator when the last beat
+    /// lands. `flag` is set when the instruction retires.
+    pub fn send_instruction(&mut self, core: CoreId, instr: Instruction, flag: Option<FlagId>) {
+        let engine = self.core_engine[core];
+        let latency = self.mmio_latency();
+        let action = self.register_action(MmioAction::PushInstr {
+            engine,
+            instr,
+            flag,
+        });
+        self.push_ops(
+            core,
+            [
+                CoreOp::Mmio { latency, signal: None },
+                CoreOp::Mmio { latency, signal: None },
+                CoreOp::Mmio {
+                    latency,
+                    signal: Some(action),
+                },
+            ],
+        );
+    }
+
+    /// Writes a whole scratchpad tile from `core`. The *data* lands when the
+    /// trailing MMIO beat completes; the time for producing the elements
+    /// themselves should be modeled with store ops pushed beforehand (see
+    /// `produce_tile_ops` in the workloads crate).
+    pub fn send_tile_write(&mut self, core: CoreId, tile: TileId, data: Vec<u64>) {
+        let engine = self.core_engine[core];
+        let latency = self.mmio_latency();
+        let action = self.register_action(MmioAction::WriteTile { engine, tile, data });
+        self.push_ops(
+            core,
+            [CoreOp::Mmio {
+                latency,
+                signal: Some(action),
+            }],
+        );
+    }
+
+    /// Writes a DX100 scalar register from `core` (one timed MMIO store).
+    pub fn send_reg_write(&mut self, core: CoreId, reg: RegId, value: u64) {
+        let engine = self.core_engine[core];
+        let latency = self.mmio_latency();
+        let action = self.register_action(MmioAction::WriteReg { engine, reg, value });
+        self.push_ops(
+            core,
+            [CoreOp::Mmio {
+                latency,
+                signal: Some(action),
+            }],
+        );
+    }
+
+    fn mmio_latency(&self) -> u16 {
+        self.cfg
+            .dx100
+            .as_ref()
+            .map(|d| d.mmio_latency as u16)
+            .unwrap_or(40)
+    }
+
+    fn register_action(&mut self, a: MmioAction) -> u32 {
+        self.actions.push(Some(a));
+        (self.actions.len() - 1) as u32
+    }
+
+    /// DX100 instance serving `core`.
+    pub fn engine_of_core(&self, core: CoreId) -> usize {
+        self.core_engine[core]
+    }
+
+    /// Mutable access to a DX100 instance (functional setup: tiles, PTEs).
+    pub fn dx100(&mut self, instance: usize) -> &mut Dx100Engine {
+        &mut self.engines[instance]
+    }
+
+    /// Shared access to a DX100 instance (reading result tiles).
+    pub fn dx100_ref(&self, instance: usize) -> &Dx100Engine {
+        &self.engines[instance]
+    }
+
+    /// Number of DX100 instances.
+    pub fn num_engines(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The application memory image (functional data).
+    pub fn image(&mut self) -> &mut MemoryImage {
+        &mut self.image
+    }
+
+    /// Shared view of the memory image.
+    pub fn image_ref(&self) -> &MemoryImage {
+        &self.image
+    }
+
+    /// Consumes the system, returning the final memory image (result
+    /// verification).
+    pub fn into_image(self) -> MemoryImage {
+        self.image
+    }
+
+    /// The DMP prefetcher, when configured.
+    pub fn dmp_mut(&mut self) -> Option<&mut Dmp> {
+        self.dmp.as_mut()
+    }
+
+    /// Memory-mapped address of a scratchpad element as seen by `core`.
+    pub fn spd_elem_addr(&self, core: CoreId, tile: TileId, i: usize) -> Addr {
+        self.engines[self.core_engine[core]].tile_elem_addr(tile, i)
+    }
+
+    /// Whether a core has drained its program.
+    pub fn core_idle(&self, core: CoreId) -> bool {
+        self.cores[core].is_done()
+    }
+
+    /// Whether every core has drained.
+    pub fn cores_idle(&self) -> bool {
+        self.cores.iter().all(|c| c.is_done())
+    }
+
+    /// Starts the region of interest: clears all statistics.
+    pub fn roi_begin(&mut self) {
+        self.roi_start = self.clock;
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.hier.reset_stats();
+        self.dram.reset_stats();
+        for e in &mut self.engines {
+            e.reset_stats();
+        }
+    }
+
+    /// Ends the region of interest, snapshotting statistics.
+    pub fn roi_end(&mut self) {
+        self.roi_snapshot = Some(self.collect_stats());
+    }
+
+    // ------------------------------------------------------------------
+    // The cycle loop
+    // ------------------------------------------------------------------
+
+    /// Runs `driver` until it reports done and the machine drains.
+    ///
+    /// # Panics
+    /// Panics if the simulation exceeds the configured `max_cycles`
+    /// (deadlocked driver) or a DX100 engine halts on a runtime error.
+    pub fn run(&mut self, driver: &mut dyn Driver) -> RunStats {
+        let mut done = false;
+        loop {
+            if !done && driver.poll(self) == DriverStatus::Done {
+                done = true;
+            }
+            self.step();
+            if done && self.is_drained() {
+                break;
+            }
+            assert!(
+                self.clock < self.cfg.max_cycles,
+                "simulation exceeded {} cycles — driver deadlock?\n{}",
+                self.cfg.max_cycles,
+                self.debug_snapshot()
+            );
+        }
+        self.roi_snapshot.take().unwrap_or_else(|| self.collect_stats())
+    }
+
+    fn is_drained(&self) -> bool {
+        self.cores.iter().all(|c| c.is_done())
+            && self.hier.is_idle()
+            && self.dram.is_idle()
+            && self.engines.iter().all(|e| e.is_idle())
+            && self.dram_retry.is_empty()
+            && self.spd_fills.is_empty()
+            && self.instr_delivery.iter().all(|q| q.is_empty())
+    }
+
+    /// Advances the machine one CPU cycle.
+    pub fn step(&mut self) {
+        let now = self.clock;
+
+        // --- Cores tick and issue memory operations. ---
+        let mut issues = std::mem::take(&mut self.issue_scratch);
+        issues.clear();
+        for core in &mut self.cores {
+            let cid = core.id();
+            core.tick(now, &mut self.flags, &mut |iss| issues.push((cid, iss)));
+        }
+        for (c, iss) in issues.drain(..) {
+            if let (Some(dmp), MemKind::Load) = (&mut self.dmp, iss.kind) {
+                dmp.on_core_load(c, iss.addr, &self.image);
+            }
+            let access = Access {
+                id: iss.seq,
+                line: LineAddr::containing(iss.addr),
+                is_write: matches!(iss.kind, MemKind::Store | MemKind::Atomic),
+                stream: iss.stream,
+                is_prefetch: false,
+                requester: Requester::Core(c),
+            };
+            self.hier.core_access(access, now);
+        }
+        self.issue_scratch = issues;
+
+        // --- Execute landed MMIO actions. ---
+        for c in 0..self.cores.len() {
+            for signal in self.cores[c].drain_mmio_signals() {
+                let action = self.actions[signal as usize]
+                    .take()
+                    .expect("MMIO action executed twice");
+                self.apply_action(action);
+            }
+        }
+
+        // --- In-order instruction delivery with region coherence. ---
+        self.deliver_instructions(now);
+
+        // --- DMP prefetch injection. ---
+        if let Some(dmp) = &mut self.dmp {
+            for _ in 0..2 {
+                if let Some((core, line)) = dmp.pop_prefetch() {
+                    self.hier.inject_prefetch_l2(core, line, now);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // --- Cache hierarchy. ---
+        let mut to_dram = std::mem::take(&mut self.to_dram_scratch);
+        to_dram.clear();
+        self.hier.tick(now, &mut to_dram);
+
+        // --- DX100 engines. ---
+        {
+            let dram_now = now / self.cfg.cpu_cycles_per_dram_tick;
+            let (engines, hier, dram) = (&mut self.engines, &mut self.hier, &mut self.dram);
+            for (e_idx, engine) in engines.iter_mut().enumerate() {
+                let mut ports = SystemPorts {
+                    e_idx,
+                    hier,
+                    dram,
+                    pending: &mut self.dram_pending,
+                    next_id: &mut self.next_dram_id,
+                    dram_now,
+                    host_pages: &self.host_pages,
+                };
+                engine.tick(now, &mut self.image, &mut ports);
+                if let Some(err) = engine.error() {
+                    panic!("DX100 instance {e_idx} halted: {err}");
+                }
+            }
+        }
+        // Engine retirements → flags + region releases.
+        for e_idx in 0..self.engines.len() {
+            for (handle, flag) in self.engines[e_idx].drain_retired() {
+                if let Some(f) = flag {
+                    self.flags.set(f);
+                }
+                if let Some(base) = self.region_pins.remove(&(e_idx, handle)) {
+                    self.region.release(e_idx, base);
+                }
+            }
+        }
+        // Engine LLC responses.
+        while let Some((id, _w)) = self.hier.pop_dx100_response() {
+            let e_idx = (id >> ENGINE_ID_SHIFT) as usize;
+            let inner = id & ((1u64 << ENGINE_ID_SHIFT) - 1);
+            self.engines[e_idx].mem_response(inner);
+        }
+
+        // --- Route LLC↔DRAM traffic (with SPD-region interception). ---
+        self.route_to_dram(std::mem::take(&mut to_dram));
+        self.to_dram_scratch = to_dram;
+
+        // Retry DRAM enqueues that hit a full buffer.
+        let dram_now = now / self.cfg.cpu_cycles_per_dram_tick;
+        while let Some(&(req, origin)) = self.dram_retry.front() {
+            if !self.dram.try_enqueue(req, dram_now) {
+                break;
+            }
+            self.dram_pending.insert(req.id, origin);
+            self.dram_retry.pop_front();
+        }
+
+        // --- Scratchpad-region fills (core reads of gathered tiles). ---
+        let mut extra = Vec::new();
+        while let Some(line) = self.spd_fills.pop_ready(now) {
+            self.hier.dram_fill(line, now, &mut extra);
+        }
+        if !extra.is_empty() {
+            self.route_to_dram(extra);
+        }
+
+        // --- DRAM tick (every other CPU cycle). ---
+        if now.is_multiple_of(self.cfg.cpu_cycles_per_dram_tick) {
+            self.dram.tick(dram_now);
+            let mut fills = Vec::new();
+            while let Some(resp) = self.dram.pop_response() {
+                match self.dram_pending.remove(&resp.id) {
+                    Some(DramOrigin::HierRead) => fills.push(resp.line),
+                    Some(DramOrigin::HierWrite) => {}
+                    Some(DramOrigin::Dx100 { engine, id }) => {
+                        self.engines[engine].mem_response(id);
+                    }
+                    None => debug_assert!(false, "unknown DRAM response"),
+                }
+            }
+            let mut extra = Vec::new();
+            for line in fills {
+                self.hier.dram_fill(line, now, &mut extra);
+            }
+            if !extra.is_empty() {
+                self.route_to_dram(extra);
+            }
+        }
+
+        // --- Core memory responses. ---
+        while let Some(resp) = self.hier.pop_core_response() {
+            self.cores[resp.core].mem_complete(resp.id, now);
+        }
+
+        self.clock += 1;
+    }
+
+    fn apply_action(&mut self, action: MmioAction) {
+        let multi = self.engines.len() > 1;
+        match action {
+            MmioAction::WriteReg { engine, reg, value } => {
+                if multi {
+                    self.instr_delivery[engine].push_back(PendingMmio::Reg { reg, value });
+                } else {
+                    self.engines[engine].write_reg(reg, value);
+                }
+            }
+            MmioAction::WriteTile { engine, tile, data } => {
+                if multi {
+                    self.instr_delivery[engine].push_back(PendingMmio::Tile { tile, data });
+                } else {
+                    self.engines[engine].write_tile(tile, &data);
+                }
+            }
+            MmioAction::PushInstr {
+                engine,
+                instr,
+                flag,
+            } => {
+                if multi {
+                    let now = self.clock;
+                    self.instr_delivery[engine].push_back(PendingMmio::Instr {
+                        instr,
+                        flag,
+                        ready_at: now,
+                        acquired: false,
+                    });
+                } else {
+                    self.push_to_engine(engine, instr, flag);
+                }
+            }
+        }
+    }
+
+    /// Delivers queued MMIO events to each engine, strictly in order:
+    /// region acquisition may stall or delay a queue's head but never lets
+    /// a younger event overtake it.
+    fn deliver_instructions(&mut self, now: Cycle) {
+        for e in 0..self.instr_delivery.len() {
+            while let Some(head) = self.instr_delivery[e].front_mut() {
+                if let PendingMmio::Instr {
+                    instr,
+                    ready_at,
+                    acquired,
+                    ..
+                } = head
+                {
+                    if now < *ready_at {
+                        break;
+                    }
+                    if !*acquired {
+                        match region_base(instr) {
+                            None => {}
+                            Some((base, write)) => match self.region.request(e, base, write) {
+                                RegionGrant::Immediate => {}
+                                RegionGrant::AfterAcquire => {
+                                    *acquired = true;
+                                    *ready_at = now + self.cfg.region_acquire_latency;
+                                    break;
+                                }
+                                RegionGrant::Defer => break,
+                            },
+                        }
+                    }
+                }
+                match self.instr_delivery[e].pop_front().unwrap() {
+                    PendingMmio::Instr { instr, flag, .. } => {
+                        self.push_to_engine(e, instr, flag);
+                    }
+                    PendingMmio::Reg { reg, value } => self.engines[e].write_reg(reg, value),
+                    PendingMmio::Tile { tile, data } => self.engines[e].write_tile(tile, &data),
+                }
+            }
+        }
+    }
+
+    fn push_to_engine(&mut self, engine: usize, instr: Instruction, flag: Option<FlagId>) -> u64 {
+        let handle = self.engines[engine]
+            .push_instruction(instr, flag)
+            .unwrap_or_else(|e| panic!("illegal instruction reached DX100: {e}"));
+        if self.engines.len() > 1 {
+            if let Some((base, _)) = region_base(&instr) {
+                self.region_pins.entry((engine, handle)).or_insert(base);
+            }
+        }
+        handle
+    }
+
+    fn route_to_dram(&mut self, bound: Vec<DramBound>) {
+        let now = self.clock;
+        let dram_now = now / self.cfg.cpu_cycles_per_dram_tick;
+        for d in bound {
+            let addr = d.line.base();
+            // SPD-region reads are served by the accelerator's scratchpad.
+            if let Some(e_idx) = self.engines.iter().position(|e| e.is_spd_addr(addr)) {
+                if !d.is_write {
+                    let latency = self
+                        .cfg
+                        .dx100
+                        .as_ref()
+                        .map(|c| c.spd_read_latency)
+                        .unwrap_or(20);
+                    self.engines[e_idx].note_spd_cached(d.line);
+                    self.spd_fills.push_at(now + latency, d.line);
+                }
+                continue;
+            }
+            let id = self.next_dram_id;
+            self.next_dram_id += 1;
+            let origin = if d.is_write {
+                DramOrigin::HierWrite
+            } else {
+                DramOrigin::HierRead
+            };
+            let req = if d.is_write {
+                MemRequest::write(id, d.line)
+            } else {
+                MemRequest::read(id, d.line)
+            };
+            if self.dram.try_enqueue(req, dram_now) {
+                self.dram_pending.insert(id, origin);
+            } else {
+                self.dram_retry.push_back((req, origin));
+            }
+        }
+    }
+
+    /// One-line machine-state summary for deadlock diagnosis.
+    pub fn debug_snapshot(&self) -> String {
+        let cores: Vec<String> = self
+            .cores
+            .iter()
+            .map(|c| {
+                format!(
+                    "core{}(done={} issued={} waits={})",
+                    c.id(),
+                    c.is_done(),
+                    c.stats().mem_ops_issued,
+                    c.stats().wait_cycles
+                )
+            })
+            .collect();
+        format!(
+            "cycle={} {} hier_idle={} dram_idle={} retry={} pending_dram={} spd_fills={}",
+            self.clock,
+            cores.join(" "),
+            self.hier.is_idle(),
+            self.dram.is_idle(),
+            self.dram_retry.len(),
+            self.dram_pending.len(),
+            self.spd_fills.len()
+        ) + &format!(" | hier: {}", self.hier.debug_state())
+            + &self
+                .engines
+                .iter()
+                .enumerate()
+                .map(|(i, e)| format!(" | dx{}: {}", i, e.debug_state()))
+                .collect::<String>()
+    }
+
+    /// Collects statistics since the last [`System::roi_begin`].
+    pub fn collect_stats(&self) -> RunStats {
+        let mut core = dx100_cpu::CoreStats::default();
+        for c in &self.cores {
+            core.merge(c.stats());
+        }
+        let mut dxs = None;
+        if !self.engines.is_empty() {
+            let mut agg = dx100_core::Dx100Stats::default();
+            for e in &self.engines {
+                agg.merge(e.stats());
+            }
+            dxs = Some(agg);
+        }
+        RunStats {
+            cycles: self.clock - self.roi_start,
+            instructions: core.instructions,
+            core,
+            dram: self.dram.stats(),
+            dram_channels: self.cfg.dram.organization.channels,
+            hierarchy: self.hier.stats(),
+            dx100: dxs,
+            dmp_prefetches: self.dmp.as_ref().map(|d| d.issued).unwrap_or(0),
+        }
+    }
+}
+
+/// Region operand of *indirect* memory-access instructions: `(base, is_write)`.
+///
+/// Only indirect accesses participate in the SWMR region protocol. Streaming
+/// accesses (`SLD`/`SST`) deliberately do not: their footprints are affine
+/// slices that software already partitions disjointly between instances and
+/// synchronizes at phase boundaries (flags / `WaitCoresIdle`), and regions
+/// are keyed at array granularity — an exclusive grant per streaming store
+/// would falsely serialize two instances writing disjoint halves of the same
+/// output array. Indirect accesses, whose footprint is data-dependent and
+/// unpartitionable, are the ones that need hardware ordering.
+fn region_base(instr: &Instruction) -> Option<(Addr, bool)> {
+    match instr {
+        Instruction::Ild { base, .. } => Some((*base, false)),
+        Instruction::Ist { base, .. } | Instruction::Irmw { base, .. } => Some((*base, true)),
+        Instruction::Sld { .. }
+        | Instruction::Sst { .. }
+        | Instruction::Aluv { .. }
+        | Instruction::Alus { .. }
+        | Instruction::Rng { .. } => None,
+    }
+}
+
+/// DX100's view of the memory system, per instance.
+struct SystemPorts<'a> {
+    e_idx: usize,
+    hier: &'a mut MemoryHierarchy,
+    dram: &'a mut DramSystem,
+    pending: &'a mut HashMap<ReqId, DramOrigin>,
+    next_id: &'a mut ReqId,
+    dram_now: Cycle,
+    host_pages: &'a HashSet<u64>,
+}
+
+impl MemPorts for SystemPorts<'_> {
+    fn snoop(&self, line: LineAddr) -> bool {
+        self.hier.contains(line) || self.host_pages.contains(&(line.base() >> PAGE_SHIFT))
+    }
+
+    fn invalidate(&mut self, line: LineAddr) -> bool {
+        self.hier.invalidate(line)
+    }
+
+    fn llc_request(&mut self, id: ReqId, line: LineAddr, is_write: bool, now: Cycle) {
+        let wrapped = ((self.e_idx as u64) << ENGINE_ID_SHIFT) | id;
+        let access = Access {
+            id: wrapped,
+            line,
+            is_write,
+            stream: 0,
+            is_prefetch: false,
+            requester: Requester::Dx100,
+        };
+        self.hier.llc_access(access, now);
+    }
+
+    fn dram_try_request(&mut self, id: ReqId, line: LineAddr, is_write: bool, _now: Cycle) -> bool {
+        let dram_id = *self.next_id;
+        let req = if is_write {
+            MemRequest::write(dram_id, line)
+        } else {
+            MemRequest::read(dram_id, line)
+        };
+        if self.dram.try_enqueue(req, self.dram_now) {
+            *self.next_id += 1;
+            self.pending.insert(
+                dram_id,
+                DramOrigin::Dx100 {
+                    engine: self.e_idx,
+                    id,
+                },
+            );
+            true
+        } else {
+            false
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Dataset generators: uniform graphs in CSR form, sparse matrices,
+//! UME-style meshes with controlled index distance, join tuples, and the
+//! xRAGE access pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A directed graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Column indices (neighbors), length = #edges.
+    pub cols: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Neighbors of `u`.
+    pub fn neigh(&self, u: usize) -> &[u32] {
+        &self.cols[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
+/// Uniform random graph: `n` nodes, degree ~ Poisson-ish around `avg_deg`
+/// (the paper's uniform graph with average degree 15).
+pub fn uniform_graph(n: usize, avg_deg: usize, seed: u64) -> Csr {
+    let mut r = rng(seed);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    offsets.push(0u32);
+    for _ in 0..n {
+        let deg = r.gen_range(0..=avg_deg * 2);
+        for _ in 0..deg {
+            cols.push(r.gen_range(0..n as u32));
+        }
+        offsets.push(cols.len() as u32);
+    }
+    Csr { offsets, cols }
+}
+
+/// A sparse matrix in CSR form with f64 values.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    /// Row offsets, length `rows + 1`.
+    pub offsets: Vec<u32>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Nonzero values.
+    pub vals: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// Random square sparse matrix with ~`nnz_per_row` nonzeros per row,
+/// columns spread uniformly (the low-locality regime of NAS CG).
+pub fn sparse_matrix(n: usize, nnz_per_row: usize, seed: u64) -> SparseMatrix {
+    let mut r = rng(seed);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0u32);
+    for _ in 0..n {
+        let k = r.gen_range(nnz_per_row / 2..=nnz_per_row * 3 / 2);
+        for _ in 0..k {
+            cols.push(r.gen_range(0..n as u32));
+            vals.push(r.gen_range(-1.0..1.0));
+        }
+        offsets.push(cols.len() as u32);
+    }
+    SparseMatrix { offsets, cols, vals }
+}
+
+/// UME-style index map: `n` indices into an array of `n` points with a mean
+/// absolute index distance around `mean_distance` (the paper measured ~85K
+/// on the 2M-point mesh — limited spatial locality but not uniform random).
+pub fn ume_index_map(n: usize, mean_distance: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let d = r.gen_range(0..=(2 * mean_distance)) as i64 - mean_distance as i64;
+            (i as i64 + d).rem_euclid(n as i64) as u32
+        })
+        .collect()
+}
+
+/// Join tuples: `(key, payload)` with keys uniform in `0..key_space`.
+pub fn join_tuples(n: usize, key_space: u64, seed: u64) -> Vec<(u64, u64)> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| (r.gen_range(0..key_space), i as u64))
+        .collect()
+}
+
+/// xRAGE-style scatter pattern (Spatter trace shape): runs of short strided
+/// bursts at scattered bases — moderate spatial locality inside a burst,
+/// none across bursts.
+pub fn xrage_pattern(n: usize, target_len: usize, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let base = r.gen_range(0..target_len as u32);
+        let burst = r.gen_range(4..=16usize);
+        let stride = *[1u32, 2, 4].get(r.gen_range(0..3)).unwrap();
+        for k in 0..burst {
+            if out.len() >= n {
+                break;
+            }
+            out.push((base + k as u32 * stride) % target_len as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_graph_shape() {
+        let g = uniform_graph(1000, 15, 1);
+        assert_eq!(g.nodes(), 1000);
+        let avg = g.edges() as f64 / g.nodes() as f64;
+        assert!((10.0..20.0).contains(&avg), "avg degree {avg}");
+        assert!(g.cols.iter().all(|&c| (c as usize) < 1000));
+        // Deterministic per seed.
+        let g2 = uniform_graph(1000, 15, 1);
+        assert_eq!(g.cols, g2.cols);
+        let g3 = uniform_graph(1000, 15, 2);
+        assert_ne!(g.cols, g3.cols);
+    }
+
+    #[test]
+    fn sparse_matrix_shape() {
+        let m = sparse_matrix(256, 8, 7);
+        assert_eq!(m.rows(), 256);
+        assert_eq!(m.cols.len(), m.vals.len());
+        assert!(m.cols.iter().all(|&c| (c as usize) < 256));
+    }
+
+    #[test]
+    fn ume_map_mean_distance() {
+        let n = 100_000;
+        let want = 5_000;
+        let map = ume_index_map(n, want, 3);
+        let mean: f64 = map
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let d = (i as i64 - b as i64).abs();
+                // Wrap-around distances count as the short way.
+                d.min(n as i64 - d) as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (want as f64 * 0.3..want as f64 * 1.2).contains(&mean),
+            "mean distance {mean}"
+        );
+    }
+
+    #[test]
+    fn xrage_pattern_in_bounds() {
+        let p = xrage_pattern(10_000, 50_000, 9);
+        assert_eq!(p.len(), 10_000);
+        assert!(p.iter().all(|&x| (x as usize) < 50_000));
+        // Bursty: many consecutive pairs are small strides.
+        let local = p
+            .windows(2)
+            .filter(|w| (w[1] as i64 - w[0] as i64).abs() <= 4)
+            .count();
+        assert!(local * 2 > p.len(), "pattern should be bursty: {local}");
+    }
+
+    #[test]
+    fn join_tuples_deterministic() {
+        let a = join_tuples(100, 1 << 20, 5);
+        let b = join_tuples(100, 1 << 20, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(k, _)| *k < (1 << 20)));
+    }
+}

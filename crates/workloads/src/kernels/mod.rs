@@ -1,0 +1,11 @@
+//! The twelve evaluation kernels (paper Table 1 / Section 5).
+
+pub mod bc;
+pub mod bfs;
+pub mod cg;
+pub mod is;
+pub mod pr;
+pub mod prh;
+pub mod pro;
+pub mod ume;
+pub mod xrage;

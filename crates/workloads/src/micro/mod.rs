@@ -1,0 +1,11 @@
+//! The five microbenchmarks of Figure 8.
+//!
+//! * [`allhit`] — warm-cache runs isolating instruction-offload benefits:
+//!   Gather-SPD, Gather-Full, RMW (vs atomic and non-atomic baselines), and
+//!   single-core Scatter.
+//! * [`allmiss`] — the Gather-Full kernel over 64K unique indices laid out
+//!   with exact row-buffer-hit / channel-interleave / bank-group-interleave
+//!   properties, constructed through the DRAM address mapping's inverse.
+
+pub mod allhit;
+pub mod allmiss;

@@ -1,0 +1,63 @@
+//! The DX100 compiler pipeline on the paper's Figure 7 example:
+//! detect the indirect access, check legality, tile, hoist, lower to DX100
+//! API calls, and execute the offloaded form — verifying it against the
+//! plain interpreter.
+//!
+//! Run with: `cargo run --example compiler_demo`
+
+use dx100::compiler::detect::detect;
+use dx100::compiler::interp::Env;
+use dx100::compiler::ir::{Expr, Program, Stmt};
+use dx100::compiler::pipeline::{compile_loop, offload_env, run_offloaded};
+
+fn main() {
+    // for i in 0..32 { C[i] = A[B[i]]; }   (Figure 7a)
+    let mut p = Program::new();
+    let a = p.array("A", 64);
+    let b = p.array("B", 32);
+    let c = p.array("C", 32);
+    let i = p.var();
+    p.body.push(Stmt::for_loop(
+        i,
+        Expr::Const(0),
+        Expr::Const(32),
+        vec![Stmt::Store(
+            c,
+            Expr::Var(i),
+            Expr::load(a, Expr::load(b, Expr::Var(i))),
+        )],
+    ));
+
+    // Detection (Figure 7c's DFS).
+    let Stmt::For(l) = &p.body[0] else { unreachable!() };
+    for acc in detect(l) {
+        println!(
+            "detected indirect {:?} of array {} at depth {}",
+            acc.kind, acc.array, acc.depth
+        );
+    }
+
+    // Full pipeline (tile = 8 → Figure 7b's tiling).
+    let compiled = compile_loop(&p, 8).expect("legal loop");
+    println!("\ntiles: {:?}", compiled.tiles);
+    println!("hoisted packed loads: {}", compiled.transformed.prologue.len());
+    println!("lowered DX100 calls per tile:");
+    for call in &compiled.calls {
+        println!("  {call:?}");
+    }
+
+    // Execute both forms and compare.
+    let mut reference = Env::for_program(&p);
+    for k in 0..64 {
+        reference.arrays[a][k] = (k * 11 % 64) as i64;
+    }
+    for k in 0..32 {
+        reference.arrays[b][k] = ((k * 7 + 5) % 64) as i64;
+    }
+    let mut offloaded = offload_env(&p, &compiled);
+    offloaded.arrays = reference.arrays.clone();
+    reference.run(&p);
+    run_offloaded(&compiled, &mut offloaded);
+    assert_eq!(reference.arrays[c], offloaded.arrays[c]);
+    println!("\noffloaded execution matches the interpreter: C[0..8] = {:?}", &offloaded.arrays[c][..8]);
+}

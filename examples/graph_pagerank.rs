@@ -1,0 +1,33 @@
+//! One push-style PageRank iteration over a uniform random graph, on all
+//! three machines the paper evaluates: baseline, baseline+DMP, and DX100.
+//!
+//! Run with: `cargo run --release --example graph_pagerank`
+
+use dx100::sim::SystemConfig;
+use dx100::workloads::kernels::pr::PageRank;
+use dx100::workloads::{KernelRun, Mode, Scale};
+
+fn main() {
+    let kernel = PageRank::new(Scale(0.25));
+    println!("PageRank iteration (GAP), three machines:\n");
+    let rows = [
+        ("baseline", Mode::Baseline, SystemConfig::paper_baseline()),
+        ("baseline+DMP", Mode::Dmp, SystemConfig::paper_dmp()),
+        ("DX100", Mode::Dx100, SystemConfig::paper_dx100()),
+    ];
+    let mut base_cycles = None;
+    for (name, mode, cfg) in rows {
+        let r = kernel.run(mode, &cfg, 3);
+        let speed = base_cycles
+            .map(|b: u64| b as f64 / r.stats.cycles.max(1) as f64)
+            .unwrap_or(1.0);
+        base_cycles.get_or_insert(r.stats.cycles);
+        println!(
+            "{name:<13} {:>10} cycles ({speed:>5.2}x)  bw {:>5.1}%  rbh {:>5.1}%  occupancy {:.3}",
+            r.stats.cycles,
+            r.stats.bandwidth_utilization() * 100.0,
+            r.stats.row_buffer_hit_rate() * 100.0,
+            r.stats.request_buffer_occupancy(),
+        );
+    }
+}

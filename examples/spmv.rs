@@ -1,0 +1,35 @@
+//! Sparse matrix-vector multiply on the *timed* full system: the paper's CG
+//! scenario. Runs the same SpMV on the multicore baseline and on the
+//! DX100-equipped machine and prints the headline metrics.
+//!
+//! Run with: `cargo run --release --example spmv`
+
+use dx100::sim::SystemConfig;
+use dx100::workloads::kernels::cg::ConjugateGradient;
+use dx100::workloads::{KernelRun, Mode, Scale};
+
+fn main() {
+    let kernel = ConjugateGradient::new(Scale(0.25));
+    println!("SpMV (NAS CG core), baseline vs DX100:\n");
+    let base = kernel.run(Mode::Baseline, &SystemConfig::paper_baseline(), 7);
+    let dx = kernel.run(Mode::Dx100, &SystemConfig::paper_dx100(), 7);
+    println!(
+        "baseline: {:>10} cycles, {:>9} instructions, {:>5.1}% DRAM bandwidth",
+        base.stats.cycles,
+        base.stats.instructions,
+        base.stats.bandwidth_utilization() * 100.0
+    );
+    println!(
+        "dx100:    {:>10} cycles, {:>9} instructions, {:>5.1}% DRAM bandwidth",
+        dx.stats.cycles,
+        dx.stats.instructions,
+        dx.stats.bandwidth_utilization() * 100.0
+    );
+    println!("\nspeedup: {:.2}x", dx.stats.speedup_over(&base.stats));
+    let s = dx.stats.dx100.unwrap();
+    println!(
+        "accelerator: {} instructions retired, coalescing factor {:.2} words/line",
+        s.instructions_retired,
+        s.coalescing_factor()
+    );
+}

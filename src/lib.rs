@@ -1,0 +1,29 @@
+//! # DX100 — Programmable Data Access Accelerator for Indirection
+//!
+//! Facade crate for the DX100 reproduction workspace. It re-exports every
+//! sub-crate under one roof so examples, integration tests, and downstream
+//! users can depend on a single crate:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`common`] | `dx100-common` | ids, data types, value arithmetic, delay queues |
+//! | [`dram`] | `dx100-dram` | DDR4 command-level simulator + FR-FCFS controllers |
+//! | [`mem`] | `dx100-mem` | L1/L2/LLC hierarchy with MSHRs and stride prefetchers |
+//! | [`cpu`] | `dx100-cpu` | multi-core timing model (ROB/LQ/SQ limits) |
+//! | [`core`] | `dx100-core` | the accelerator: ISA, scratchpad, functional units |
+//! | [`prefetch`] | `dx100-prefetch` | DMP-style indirect prefetcher baseline |
+//! | [`compiler`] | `dx100-compiler` | loop IR + detect/tile/hoist/lower passes |
+//! | [`sim`] | `dx100-sim` | full-system runner and Table 3 configuration |
+//! | [`workloads`] | `dx100-workloads` | the paper's 12 kernels + microbenchmarks |
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use dx100_common as common;
+pub use dx100_compiler as compiler;
+pub use dx100_core as core;
+pub use dx100_cpu as cpu;
+pub use dx100_dram as dram;
+pub use dx100_mem as mem;
+pub use dx100_prefetch as prefetch;
+pub use dx100_sim as sim;
+pub use dx100_workloads as workloads;

@@ -1,0 +1,164 @@
+//! Property tests for the compiler pipeline: any legal generated loop must
+//! produce identical arrays when run (a) by the plain interpreter and
+//! (b) offloaded — packed ops executed on the functional DX100 with the
+//! residual loop interpreted, tile by tile.
+
+use dx100::compiler::interp::Env;
+use dx100::compiler::ir::{BinOp, Expr, Program, RmwOp, Stmt};
+use dx100::compiler::pipeline::{compile_loop, offload_env, run_offloaded, CompileError};
+use proptest::prelude::*;
+
+/// A generated kernel shape (always legal by construction).
+#[derive(Debug, Clone)]
+enum Shape {
+    /// `C[i] = A[B[i]]`
+    Gather,
+    /// `C[i] = A[B[A2[i]]]` (two levels)
+    Gather2,
+    /// `A[B[i]] = C[i] * 2`
+    Scatter,
+    /// `if (D[i] >= k) A[B[i]] += C[i]`
+    CondRmw { k: i64, op: RmwOp },
+    /// `H[(K[i] & mask)] += 1`
+    Histogram { mask: i64 },
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Gather),
+        Just(Shape::Gather2),
+        Just(Shape::Scatter),
+        (0i64..8, prop_oneof![Just(RmwOp::Add), Just(RmwOp::Min), Just(RmwOp::Max)])
+            .prop_map(|(k, op)| Shape::CondRmw { k, op }),
+        (prop_oneof![Just(7i64), Just(15), Just(31)]).prop_map(|mask| Shape::Histogram { mask }),
+    ]
+}
+
+fn build(shape: &Shape, n: i64) -> Program {
+    let mut p = Program::new();
+    let i = p.var();
+    let body = match shape {
+        Shape::Gather => {
+            let a = p.array("A", 64);
+            let b = p.array("B", n as usize);
+            let c = p.array("C", n as usize);
+            vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::Var(i))),
+            )]
+        }
+        Shape::Gather2 => {
+            let a = p.array("A", 64);
+            let b = p.array("B", 64);
+            let a2 = p.array("A2", n as usize);
+            let c = p.array("C", n as usize);
+            vec![Stmt::Store(
+                c,
+                Expr::Var(i),
+                Expr::load(a, Expr::load(b, Expr::load(a2, Expr::Var(i)))),
+            )]
+        }
+        Shape::Scatter => {
+            let a = p.array("A", 64);
+            let b = p.array("B", n as usize);
+            let c = p.array("C", n as usize);
+            vec![Stmt::Store(
+                a,
+                Expr::load(b, Expr::Var(i)),
+                Expr::bin(BinOp::Mul, Expr::load(c, Expr::Var(i)), Expr::Const(2)),
+            )]
+        }
+        Shape::CondRmw { k, op } => {
+            let a = p.array("A", 64);
+            let b = p.array("B", n as usize);
+            let c = p.array("C", n as usize);
+            let d = p.array("D", n as usize);
+            vec![Stmt::If(
+                Expr::bin(BinOp::Ge, Expr::load(d, Expr::Var(i)), Expr::Const(*k)),
+                vec![Stmt::Rmw(
+                    a,
+                    Expr::load(b, Expr::Var(i)),
+                    *op,
+                    Expr::load(c, Expr::Var(i)),
+                )],
+            )]
+        }
+        Shape::Histogram { mask } => {
+            let h = p.array("H", (*mask + 1) as usize);
+            let k = p.array("K", n as usize);
+            vec![Stmt::Rmw(
+                h,
+                Expr::bin(BinOp::And, Expr::load(k, Expr::Var(i)), Expr::Const(*mask)),
+                RmwOp::Add,
+                Expr::Const(1),
+            )]
+        }
+    };
+    p.body
+        .push(Stmt::for_loop(i, Expr::Const(0), Expr::Const(n), body));
+    p
+}
+
+fn seed_env(env: &mut Env, seed: u64) {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for arr in env.arrays.iter_mut() {
+        let n = arr.len().max(1);
+        for v in arr.iter_mut() {
+            // Small non-negative values keep every index shape in bounds
+            // (indices are reduced mod the target array's length below).
+            *v = (next() % (n as u64).min(64)) as i64;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn offloaded_execution_matches_interpreter(
+        shape in shape_strategy(),
+        n in 4i64..96,
+        tile in prop_oneof![Just(4i64), Just(8), Just(16), Just(64)],
+        seed in any::<u64>(),
+    ) {
+        let program = build(&shape, n);
+        let compiled = match compile_loop(&program, tile) {
+            Ok(c) => c,
+            Err(CompileError::Illegal(e)) => {
+                return Err(TestCaseError::fail(format!("generated shape must be legal: {e}")));
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("compile failed: {e}"))),
+        };
+        let mut reference = Env::for_program(&program);
+        seed_env(&mut reference, seed);
+        let mut offloaded = offload_env(&program, &compiled);
+        offloaded.arrays = reference.arrays.clone();
+        reference.run(&program);
+        run_offloaded(&compiled, &mut offloaded);
+        prop_assert_eq!(&reference.arrays, &offloaded.arrays);
+    }
+}
+
+#[test]
+fn histogram_counts_exactly() {
+    let program = build(&Shape::Histogram { mask: 15 }, 64);
+    let compiled = compile_loop(&program, 16).unwrap();
+    let mut reference = Env::for_program(&program);
+    seed_env(&mut reference, 7);
+    // The histogram itself starts from zero.
+    reference.arrays[0].fill(0);
+    let mut offloaded = offload_env(&program, &compiled);
+    offloaded.arrays = reference.arrays.clone();
+    reference.run(&program);
+    run_offloaded(&compiled, &mut offloaded);
+    assert_eq!(reference.arrays, offloaded.arrays);
+    let total: i64 = offloaded.arrays[0].iter().sum();
+    assert_eq!(total, 64, "histogram must count every iteration");
+}

@@ -1,0 +1,262 @@
+//! The reproduction's central correctness property: the timed DX100 engine
+//! — with all its reordering, coalescing, interleaving, and condition
+//! gating — produces *bit-identical* results to the functional model for
+//! arbitrary instruction programs.
+
+use dx100::common::{AluOp, DType};
+use dx100::core::engine::Dx100Engine;
+use dx100::core::functional::FunctionalDx100;
+use dx100::core::isa::{Instruction, RegId, TileId};
+use dx100::core::ports::TestPorts;
+use dx100::core::{Dx100Config, MemoryImage};
+use dx100::dram::DramConfig;
+use proptest::prelude::*;
+
+const T_IDX: TileId = TileId::new(0);
+const T_VAL: TileId = TileId::new(1);
+const T_COND: TileId = TileId::new(2);
+const T_DST: TileId = TileId::new(3);
+const R3: RegId = RegId::new(3);
+
+/// One randomly generated bulk operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Gather,
+    Scatter { cond: bool },
+    Rmw { op: AluOp, cond: bool },
+    AluThenGather { imm: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Gather),
+        any::<bool>().prop_map(|cond| Op::Scatter { cond }),
+        (prop_oneof![Just(AluOp::Add), Just(AluOp::Min), Just(AluOp::Max), Just(AluOp::Xor)], any::<bool>())
+            .prop_map(|(op, cond)| Op::Rmw { op, cond }),
+        (1u64..7).prop_map(|imm| Op::AluThenGather { imm }),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    a_len: u64,
+    indices: Vec<u64>,
+    values: Vec<u64>,
+    conds: Vec<u64>,
+    ops: Vec<Op>,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (16u64..512, 1usize..48).prop_flat_map(|(a_len, n)| {
+        (
+            proptest::collection::vec(0..a_len.saturating_sub(8).max(1), n),
+            proptest::collection::vec(any::<u32>().prop_map(|v| v as u64), n),
+            proptest::collection::vec(0u64..2, n),
+            proptest::collection::vec(op_strategy(), 1..5),
+        )
+            .prop_map(move |(indices, values, conds, ops)| Case {
+                a_len,
+                indices,
+                values,
+                conds,
+                ops,
+            })
+    })
+}
+
+fn build_program(case: &Case, a_base: u64) -> Vec<Instruction> {
+    let mut prog = Vec::new();
+    for op in &case.ops {
+        match op {
+            Op::Gather => prog.push(Instruction::ild(DType::U32, a_base, T_DST, T_IDX)),
+            Op::Scatter { cond } => {
+                let mut i = Instruction::ist(DType::U32, a_base, T_IDX, T_VAL);
+                if *cond {
+                    i = i.with_condition(T_COND);
+                }
+                prog.push(i);
+            }
+            Op::Rmw { op, cond } => {
+                let mut i = Instruction::irmw(DType::U32, *op, a_base, T_IDX, T_VAL);
+                if *cond {
+                    i = i.with_condition(T_COND);
+                }
+                prog.push(i);
+            }
+            Op::AluThenGather { .. } => {
+                // idx2 = idx + imm (stays in bounds by construction), then
+                // gather through it.
+                prog.push(Instruction::Alus {
+                    dtype: DType::U32,
+                    op: AluOp::Add,
+                    td: TileId::new(4),
+                    ts: T_IDX,
+                    rs: R3,
+                    tc: None,
+                });
+                prog.push(Instruction::ild(DType::U32, a_base, T_DST, TileId::new(4)));
+            }
+        }
+    }
+    prog
+}
+
+fn fresh_image(case: &Case) -> (MemoryImage, dx100::core::ArrayHandle) {
+    let mut mem = MemoryImage::new();
+    let a = mem.alloc("A", DType::U32, case.a_len);
+    for i in 0..case.a_len {
+        mem.write_elem(a, i, (i * 2654435761) & 0xffff_ffff);
+    }
+    (mem, a)
+}
+
+fn small_cfg() -> Dx100Config {
+    let mut cfg = Dx100Config::paper();
+    cfg.tile_elems = 64;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Functional and timed execution agree on memory and tile contents.
+    #[test]
+    fn timed_engine_matches_functional(case in case_strategy()) {
+        let imm = case.ops.iter().find_map(|o| match o {
+            Op::AluThenGather { imm } => Some(*imm),
+            _ => None,
+        }).unwrap_or(1);
+
+        // Functional run.
+        let (mut fmem, fa) = fresh_image(&case);
+        let mut fx = FunctionalDx100::new(small_cfg());
+        fx.write_tile(T_IDX, &case.indices);
+        fx.write_tile(T_VAL, &case.values);
+        fx.write_tile(T_COND, &case.conds);
+        fx.write_reg(R3, imm);
+        let prog = build_program(&case, fa.base());
+        fx.run(&prog, &mut fmem).expect("functional run");
+
+        // Timed run against permissive test ports.
+        let (mut tmem, ta) = fresh_image(&case);
+        prop_assert_eq!(fa.base(), ta.base());
+        let mut engine = Dx100Engine::new(small_cfg(), &DramConfig::ddr4_3200_2ch());
+        engine.preload_ptes(0, tmem.high_water());
+        engine.write_tile(T_IDX, &case.indices);
+        engine.write_tile(T_VAL, &case.values);
+        engine.write_tile(T_COND, &case.conds);
+        engine.write_reg(R3, imm);
+        for instr in &prog {
+            engine.push_instruction(*instr, None).expect("legal instruction");
+        }
+        let mut ports = TestPorts::new(13);
+        let mut now = 0;
+        while !engine.is_idle() {
+            while let Some(id) = ports.pop_ready(now) {
+                engine.mem_response(id);
+            }
+            engine.tick(now, &mut tmem, &mut ports);
+            prop_assert!(engine.error().is_none(), "engine halted: {:?}", engine.error());
+            now += 1;
+            prop_assert!(now < 4_000_000, "engine did not drain");
+        }
+
+        // Memory must agree bit for bit.
+        prop_assert_eq!(tmem.to_vec(ta), fmem.to_vec(fa));
+        // Destination tiles agree too.
+        for t in [T_DST, TileId::new(4)] {
+            if let (Some(fl), Some(tl)) = (fx.tile(t).len(), engine.tile(t).len()) {
+                prop_assert_eq!(fl, tl);
+                prop_assert_eq!(engine.tile(t).valid(), fx.tile(t).valid());
+            }
+        }
+    }
+
+    /// Ablation configurations change timing, never results.
+    #[test]
+    fn ablations_preserve_results(case in case_strategy(), which in 0usize..4) {
+        let (mut fmem, fa) = fresh_image(&case);
+        let mut fx = FunctionalDx100::new(small_cfg());
+        fx.write_tile(T_IDX, &case.indices);
+        fx.write_tile(T_VAL, &case.values);
+        fx.write_tile(T_COND, &case.conds);
+        fx.write_reg(R3, 1);
+        let prog = build_program(&case, fa.base());
+        fx.run(&prog, &mut fmem).expect("functional run");
+
+        let mut cfg = small_cfg();
+        match which {
+            0 => cfg.reorder = false,
+            1 => cfg.coalesce = false,
+            2 => cfg.interleave = false,
+            _ => cfg.direct_dram = false,
+        }
+        let (mut tmem, _) = fresh_image(&case);
+        let mut engine = Dx100Engine::new(cfg, &DramConfig::ddr4_3200_2ch());
+        engine.preload_ptes(0, tmem.high_water());
+        engine.write_tile(T_IDX, &case.indices);
+        engine.write_tile(T_VAL, &case.values);
+        engine.write_tile(T_COND, &case.conds);
+        engine.write_reg(R3, 1);
+        for instr in &prog {
+            engine.push_instruction(*instr, None).expect("legal instruction");
+        }
+        let mut ports = TestPorts::new(7);
+        let mut now = 0;
+        while !engine.is_idle() {
+            while let Some(id) = ports.pop_ready(now) {
+                engine.mem_response(id);
+            }
+            engine.tick(now, &mut tmem, &mut ports);
+            now += 1;
+            prop_assert!(now < 4_000_000, "engine did not drain");
+        }
+        prop_assert_eq!(tmem.to_vec(fa), fmem.to_vec(fa));
+    }
+}
+
+/// Deterministic regression: duplicate indices in one scatter tile must
+/// resolve last-writer-wins even when the columns split across requests.
+#[test]
+fn duplicate_index_scatter_is_sequential() {
+    let mut indices = vec![5u64; 40];
+    indices.extend([6, 7, 5, 5, 9]);
+    let values: Vec<u64> = (0..45).collect();
+    let case = Case {
+        a_len: 64,
+        indices,
+        values,
+        conds: vec![1; 45],
+        ops: vec![Op::Scatter { cond: false }],
+    };
+    let (mut fmem, fa) = fresh_image(&case);
+    let mut fx = FunctionalDx100::new(small_cfg());
+    fx.write_tile(T_IDX, &case.indices);
+    fx.write_tile(T_VAL, &case.values);
+    fx.write_tile(T_COND, &case.conds);
+    let prog = build_program(&case, fa.base());
+    fx.run(&prog, &mut fmem).unwrap();
+    assert_eq!(fmem.read_elem(fa, 5), 43); // last write to index 5
+
+    let (mut tmem, _) = fresh_image(&case);
+    let mut engine = Dx100Engine::new(small_cfg(), &DramConfig::ddr4_3200_2ch());
+    engine.preload_ptes(0, tmem.high_water());
+    engine.write_tile(T_IDX, &case.indices);
+    engine.write_tile(T_VAL, &case.values);
+    engine.write_tile(T_COND, &case.conds);
+    for instr in &prog {
+        engine.push_instruction(*instr, None).unwrap();
+    }
+    let mut ports = TestPorts::new(31);
+    let mut now = 0;
+    while !engine.is_idle() {
+        while let Some(id) = ports.pop_ready(now) {
+            engine.mem_response(id);
+        }
+        engine.tick(now, &mut tmem, &mut ports);
+        now += 1;
+        assert!(now < 1_000_000);
+    }
+    assert_eq!(tmem.read_elem(fa, 5), 43);
+    assert_eq!(tmem.to_vec(fa), fmem.to_vec(fa));
+}

@@ -1,0 +1,150 @@
+//! Property tests on the cache hierarchy: every demand access completes
+//! exactly once under random traffic (the drain property whose violation
+//! was the nastiest bug class during bring-up — orphaned MSHR entries), and
+//! snoop/invalidate behave like a coherence directory.
+
+use dx100::common::{DelayQueue, LineAddr};
+use dx100::mem::{Access, HierarchyConfig, MemoryHierarchy, Requester};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Traffic {
+    /// (core, line, is_write, stream)
+    accesses: Vec<(usize, u64, bool, u32)>,
+    dram_latency: u64,
+}
+
+fn traffic() -> impl Strategy<Value = Traffic> {
+    (10u64..120, 1usize..250).prop_flat_map(|(lat, n)| {
+        proptest::collection::vec((0usize..4, 0u64..2000, any::<bool>(), 0u32..6), n).prop_map(
+            move |accesses| Traffic {
+                accesses,
+                dram_latency: lat,
+            },
+        )
+    })
+}
+
+fn small_hierarchy() -> MemoryHierarchy {
+    let mut cfg = HierarchyConfig::paper_baseline(4);
+    cfg.l1.size_bytes = 4 * 1024;
+    cfg.l2.size_bytes = 16 * 1024;
+    cfg.llc.size_bytes = 64 * 1024;
+    cfg.llc.ways = 16;
+    MemoryHierarchy::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly-once completion and full drain under random mixed traffic.
+    #[test]
+    fn hierarchy_conserves_accesses(t in traffic()) {
+        let mut mem = small_hierarchy();
+        let mut fills: DelayQueue<LineAddr> = DelayQueue::new();
+        let mut to_dram = Vec::new();
+        let mut seen = vec![0u32; t.accesses.len()];
+        let mut issued = 0usize;
+        let mut done = 0usize;
+        let mut now = 0u64;
+        while done < t.accesses.len() {
+            // Issue a couple of accesses per cycle.
+            for _ in 0..2 {
+                if issued < t.accesses.len() {
+                    let (core, line, w, stream) = t.accesses[issued];
+                    let acc = if w {
+                        Access::store(issued as u64, LineAddr(line), stream, Requester::Core(core))
+                    } else {
+                        Access::load(issued as u64, LineAddr(line), stream, Requester::Core(core))
+                    };
+                    mem.core_access(acc, now);
+                    issued += 1;
+                }
+            }
+            mem.tick(now, &mut to_dram);
+            for d in to_dram.drain(..) {
+                if !d.is_write {
+                    fills.push_at(now + t.dram_latency, d.line);
+                }
+            }
+            while let Some(line) = fills.pop_ready(now) {
+                mem.dram_fill(line, now, &mut to_dram);
+            }
+            while let Some(r) = mem.pop_core_response() {
+                let idx = r.id as usize;
+                prop_assert_eq!(t.accesses[idx].0, r.core, "routed to wrong core");
+                seen[idx] += 1;
+                prop_assert_eq!(seen[idx], 1, "access {} completed twice", idx);
+                done += 1;
+            }
+            now += 1;
+            prop_assert!(now < 2_000_000, "hierarchy drain timeout: {}/{}", done, t.accesses.len());
+        }
+        // After the last fill settles, the hierarchy must go fully idle.
+        for _ in 0..400 {
+            mem.tick(now, &mut to_dram);
+            for d in to_dram.drain(..) {
+                if !d.is_write {
+                    fills.push_at(now + t.dram_latency, d.line);
+                }
+            }
+            while let Some(line) = fills.pop_ready(now) {
+                mem.dram_fill(line, now, &mut to_dram);
+            }
+            while mem.pop_core_response().is_some() {}
+            now += 1;
+        }
+        prop_assert!(mem.is_idle(), "hierarchy did not drain");
+    }
+
+    /// `contains` reflects fills; `invalidate` removes every copy and
+    /// reports dirtiness iff a store touched the line.
+    #[test]
+    fn snoop_and_invalidate_are_directory_accurate(
+        lines in proptest::collection::vec((0u64..64, any::<bool>()), 1usize..20)
+    ) {
+        let mut mem = small_hierarchy();
+        let mut fills: DelayQueue<LineAddr> = DelayQueue::new();
+        let mut to_dram = Vec::new();
+        let mut now = 0;
+        for (i, (line, w)) in lines.iter().enumerate() {
+            let acc = if *w {
+                Access::store(i as u64, LineAddr(*line), 0, Requester::Core(0))
+            } else {
+                Access::load(i as u64, LineAddr(*line), 0, Requester::Core(0))
+            };
+            mem.core_access(acc, now);
+        }
+        let mut done = 0;
+        while done < lines.len() {
+            mem.tick(now, &mut to_dram);
+            for d in to_dram.drain(..) {
+                if !d.is_write {
+                    fills.push_at(now + 30, d.line);
+                }
+            }
+            while let Some(line) = fills.pop_ready(now) {
+                mem.dram_fill(line, now, &mut to_dram);
+            }
+            while mem.pop_core_response().is_some() {
+                done += 1;
+            }
+            now += 1;
+            prop_assert!(now < 1_000_000);
+        }
+        for (line, _) in &lines {
+            prop_assert!(mem.contains(LineAddr(*line)), "line {} lost", line);
+        }
+        for (line, _) in &lines {
+            let was_dirty = mem.invalidate(LineAddr(*line));
+            let any_store = lines.iter().any(|(l, w)| l == line && *w);
+            // A dirty line implies some store touched it. (The converse can
+            // fail: a dirty line may already have been written back by an
+            // eviction, or invalidated by an earlier iteration.)
+            if was_dirty {
+                prop_assert!(any_store, "clean-line invalidate reported dirty");
+            }
+            prop_assert!(!mem.contains(LineAddr(*line)));
+        }
+    }
+}

@@ -15,7 +15,9 @@ fn variant(name: &str, f: impl Fn(&mut dx100_core::Dx100Config)) -> (String, Sys
 }
 
 fn main() {
-    let scale = dx100_bench::scale_from_args();
+    let args = dx100_bench::BenchArgs::parse();
+    args.warn_unsupported("ablation", false);
+    let scale = args.scale;
     let variants = vec![
         variant("full", |_| {}),
         variant("no-reorder", |d| d.reorder = false),

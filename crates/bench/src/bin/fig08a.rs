@@ -1,10 +1,30 @@
 //! Figure 8a: all-hit microbenchmark speedups (instruction offload, atomic
 //! elimination, scatter parallelization).
 
+use dx100_bench::BenchArgs;
+use dx100_common::json::{obj, Json};
+
 fn main() {
+    let args = BenchArgs::parse();
+    args.warn_unsupported("fig08a", true);
     println!("Figure 8a — all-hit microbenchmarks (paper: Gather-SPD 1.2x,");
     println!("Gather-Full 3.2x, RMW-Atomic 17.8x, RMW-NoAtom 3.7x, Scatter 6.6x)\n");
-    for (label, speedup) in dx100_workloads::micro::allhit::fig08a(1) {
+    let rows = dx100_workloads::micro::allhit::fig08a(1);
+    for (label, speedup) in &rows {
         println!("{label:<14} {speedup:>8.2}x");
     }
+    args.emit_custom_report(&obj([
+        ("schema_version", dx100_sim::report::SCHEMA_VERSION.into()),
+        ("generator", "fig08a".into()),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|(label, speedup)| {
+                        obj([("name", label.to_string().into()), ("speedup", (*speedup).into())])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
 }

@@ -2,27 +2,46 @@
 //! as a function of the baseline index ordering (row-buffer hit rate,
 //! channel interleaving, bank-group interleaving).
 
+use dx100_bench::BenchArgs;
+use dx100_common::json::{obj, Json};
 use dx100_sim::SystemConfig;
 use dx100_workloads::micro::allmiss::{run_allmiss, Scenario};
 
 fn main() {
+    let args = BenchArgs::parse();
+    args.warn_unsupported("fig08bc", true);
     println!("Figures 8b/8c — all-miss gather vs index order");
     println!("(paper: max 9.9x at worst order; DX100 holds 82-85% BW everywhere)\n");
     println!(
         "{:<18} {:>9} {:>10} {:>10} {:>9} {:>9}",
         "scenario", "speedup", "base-bw%", "dx100-bw%", "base-rbh%", "dx-rbh%"
     );
+    let mut rows = Vec::new();
     for (name, s) in Scenario::sweep() {
         let base = run_allmiss(s, false, &SystemConfig::paper_baseline());
         let dx = run_allmiss(s, true, &SystemConfig::paper_dx100());
+        let speedup = base.cycles as f64 / dx.cycles.max(1) as f64;
         println!(
             "{:<18} {:>8.2}x {:>9.1} {:>10.1} {:>9.1} {:>9.1}",
             name,
-            base.cycles as f64 / dx.cycles.max(1) as f64,
+            speedup,
             base.bandwidth_utilization() * 100.0,
             dx.bandwidth_utilization() * 100.0,
             base.row_buffer_hit_rate() * 100.0,
             dx.row_buffer_hit_rate() * 100.0,
         );
+        rows.push(obj([
+            ("name", name.into()),
+            ("speedup", speedup.into()),
+            ("baseline_bandwidth", base.bandwidth_utilization().into()),
+            ("dx100_bandwidth", dx.bandwidth_utilization().into()),
+            ("baseline_rbh", base.row_buffer_hit_rate().into()),
+            ("dx100_rbh", dx.row_buffer_hit_rate().into()),
+        ]));
     }
+    args.emit_custom_report(&obj([
+        ("schema_version", dx100_sim::report::SCHEMA_VERSION.into()),
+        ("generator", "fig08bc".into()),
+        ("rows", Json::Arr(rows)),
+    ]));
 }

@@ -1,10 +1,11 @@
 //! Figure 10: (a) DRAM bandwidth utilization, (b) row-buffer hit rate,
 //! (c) request-buffer occupancy — baseline vs DX100 per workload.
 
-use dx100_bench::{print_geomean, run_all, scale_from_args};
+use dx100_bench::{print_geomean, run_all_with, BenchArgs};
 
 fn main() {
-    let rows = run_all(scale_from_args(), false, 1);
+    let args = BenchArgs::parse();
+    let rows = run_all_with(args.scale, false, 1, &args.observability());
     println!("\nFigure 10 — memory-system metrics (paper: 3.9x BW, 2.7x RBH, 12.1x occupancy)");
     println!(
         "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
@@ -36,4 +37,5 @@ fn main() {
     print_geomean("fig10a bandwidth gain", &bwg);
     print_geomean("fig10b row-buffer-hit gain", &rbhg);
     print_geomean("fig10c occupancy gain", &occg);
+    args.emit_artifacts("fig10", &rows);
 }

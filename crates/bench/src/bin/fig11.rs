@@ -1,9 +1,10 @@
 //! Figure 11: (a) dynamic instruction reduction, (b) cache MPKI reduction.
 
-use dx100_bench::{print_geomean, run_all, scale_from_args};
+use dx100_bench::{print_geomean, run_all_with, BenchArgs};
 
 fn main() {
-    let rows = run_all(scale_from_args(), false, 1);
+    let args = BenchArgs::parse();
+    let rows = run_all_with(args.scale, false, 1, &args.observability());
     println!("\nFigure 11 — core-side effects (paper: 3.6x instruction cut, 6.1x MPKI cut)");
     println!(
         "{:<8} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
@@ -26,4 +27,5 @@ fn main() {
     }
     print_geomean("fig11a instruction reduction", &icut);
     print_geomean("fig11b MPKI reduction", &mcut);
+    args.emit_artifacts("fig11", &rows);
 }

@@ -1,9 +1,10 @@
 //! Figure 12: DX100 vs the DMP indirect prefetcher — speedup and bandwidth.
 
-use dx100_bench::{print_geomean, run_all, scale_from_args};
+use dx100_bench::{print_geomean, run_all_with, BenchArgs};
 
 fn main() {
-    let rows = run_all(scale_from_args(), true, 1);
+    let args = BenchArgs::parse();
+    let rows = run_all_with(args.scale, true, 1, &args.observability());
     println!("\nFigure 12 — DX100 vs DMP (paper: 2.0x speedup, 3.3x bandwidth)");
     println!(
         "{:<8} {:>12} {:>10} {:>10} {:>10}",
@@ -28,4 +29,5 @@ fn main() {
     }
     print_geomean("fig12a speedup vs DMP", &sp);
     print_geomean("fig12b bandwidth vs DMP", &bw);
+    args.emit_artifacts("fig12", &rows);
 }

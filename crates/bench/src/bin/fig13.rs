@@ -6,12 +6,14 @@
 //! DX100-machine row-buffer hit rate.
 
 use dx100_common::stats::geomean;
-use dx100_bench::scale_from_args;
+use dx100_bench::BenchArgs;
 use dx100_sim::SystemConfig;
 use dx100_workloads::{all_kernels, Mode, Scale};
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse();
+    args.warn_unsupported("fig13", false);
+    let scale = args.scale;
     let kernels = all_kernels(Scale(scale));
     println!("Figure 13 â tile-size sweep (paper: 1.7x @1K â 2.9x @32K,");
     println!("            1.4x fewer accesses and +27% RBH at 32K vs 1K)\n");

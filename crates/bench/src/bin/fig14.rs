@@ -1,12 +1,14 @@
 //! Figure 14: scaling cores, memory channels, and DX100 instances
 //! (4c/1x vs 8c/1x vs 8c/2x, each normalized to the same-core baseline).
 
-use dx100_bench::{print_geomean, scale_from_args};
+use dx100_bench::{print_geomean, BenchArgs};
 use dx100_sim::SystemConfig;
 use dx100_workloads::{all_kernels, Mode, Scale};
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse();
+    args.warn_unsupported("fig14", false);
+    let scale = args.scale;
     println!("Figure 14 — scalability (paper: 2.6x @4c/1x, 2.5x @8c/1x, 2.7x @8c/2x)\n");
     for (label, cores, instances, data_mult) in [
         ("4 cores, 1 instance", 4usize, 1usize, 1.0),

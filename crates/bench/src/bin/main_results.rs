@@ -2,10 +2,11 @@
 //! simulated once per machine; the three figures are different views of
 //! the same measurements).
 
-use dx100_bench::{print_geomean, run_all, scale_from_args, summarize};
+use dx100_bench::{print_geomean, run_all_with, summarize, BenchArgs};
 
 fn main() {
-    let rows = run_all(scale_from_args(), false, 1);
+    let args = BenchArgs::parse();
+    let rows = run_all_with(args.scale, false, 1, &args.observability());
 
     println!("\n=== Figure 9 — speedup over baseline (paper: geomean 2.6x) ===");
     let mut speeds = Vec::new();
@@ -75,4 +76,5 @@ fn main() {
         println!("{}", summarize(&format!("{} base ", r.name), &r.baseline.stats));
         println!("{}", summarize(&format!("{} dx100", r.name), &r.dx100.stats));
     }
+    args.emit_artifacts("main_results", &rows);
 }

@@ -1,9 +1,13 @@
 //! Table 4: DX100 area and power (28 nm synthesis numbers, 14 nm scaling,
 //! and the processor-overhead percentage).
 
+use dx100_bench::BenchArgs;
+use dx100_common::json::{obj, Json};
 use dx100_core::area::{AreaModel, COMPONENTS};
 
 fn main() {
+    let args = BenchArgs::parse();
+    args.warn_unsupported("table4", true);
     println!("Table 4 — DX100 area and power at 28 nm\n");
     println!("{:<18} {:>10} {:>10}", "module", "area mm^2", "power mW");
     for c in COMPONENTS {
@@ -18,4 +22,31 @@ fn main() {
         m.processor_overhead_fraction() * 100.0
     );
     println!("dominant component: {}", m.dominant_component().name);
+    args.emit_custom_report(&obj([
+        ("schema_version", dx100_sim::report::SCHEMA_VERSION.into()),
+        ("generator", "table4".into()),
+        (
+            "components",
+            Json::Arr(
+                COMPONENTS
+                    .iter()
+                    .map(|c| {
+                        obj([
+                            ("name", c.name.into()),
+                            ("area_mm2", c.area_mm2.into()),
+                            ("power_mw", c.power_mw.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_area_28nm_mm2", m.total_area_28nm_mm2().into()),
+        ("total_power_28nm_mw", m.total_power_28nm_mw().into()),
+        ("total_area_14nm_mm2", m.total_area_14nm_mm2().into()),
+        (
+            "processor_overhead_fraction",
+            m.processor_overhead_fraction().into(),
+        ),
+        ("dominant_component", m.dominant_component().name.into()),
+    ]));
 }

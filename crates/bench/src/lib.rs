@@ -19,8 +19,20 @@
 //! Use `--scale <f>` to trade fidelity for runtime (default 1.0 ≈ seconds
 //! per run; the paper's full sizes would take hours, like the original gem5
 //! artifact's 84).
+//!
+//! Observability flags (shared by all figure binaries):
+//!
+//! * `--json <path>` — write a machine-readable run report.
+//! * `--trace <path>` — write a Chrome trace (load in Perfetto / `about:tracing`).
+//! * `--epoch <cycles>` — sample epoch time-series metrics every N cycles
+//!   (included in the `--json` report).
 
-use dx100_sim::{RunStats, SystemConfig};
+use std::path::{Path, PathBuf};
+
+use dx100_common::json::{obj, Json};
+use dx100_common::trace::chrome_trace_json;
+use dx100_sim::report::{run_stats_json, SCHEMA_VERSION};
+use dx100_sim::{ObservabilityConfig, RunStats, SystemConfig};
 use dx100_workloads::{all_kernels, KernelRun, Mode, Scale, WorkloadResult};
 
 /// Measurements for one kernel across the machines of interest.
@@ -52,51 +64,272 @@ impl KernelRow {
 
 /// Runs one kernel in the given modes (None = skip DMP).
 pub fn run_kernel_row(kernel: &dyn KernelRun, with_dmp: bool, seed: u64) -> KernelRow {
-    let baseline = kernel.run(Mode::Baseline, &SystemConfig::paper_baseline(), seed);
-    let dx100 = kernel.run(Mode::Dx100, &SystemConfig::paper_dx100(), seed);
-    let dmp = with_dmp.then(|| kernel.run(Mode::Dmp, &SystemConfig::paper_dmp(), seed));
+    run_kernel_row_with(kernel, with_dmp, seed, &ObservabilityConfig::default())
+}
+
+/// [`run_kernel_row`] with observability (tracing / epoch sampling) applied
+/// to every machine.
+pub fn run_kernel_row_with(
+    kernel: &dyn KernelRun,
+    with_dmp: bool,
+    seed: u64,
+    obs: &ObservabilityConfig,
+) -> KernelRow {
+    let with_obs = |mut cfg: SystemConfig| {
+        cfg.obs = obs.clone();
+        cfg
+    };
+    let baseline = kernel.run(Mode::Baseline, &with_obs(SystemConfig::paper_baseline()), seed);
+    let dx100 = kernel.run(Mode::Dx100, &with_obs(SystemConfig::paper_dx100()), seed);
+    let dmp = with_dmp.then(|| kernel.run(Mode::Dmp, &with_obs(SystemConfig::paper_dmp()), seed));
     KernelRow {
-        name: kernel_name(kernel),
+        name: kernel.name(),
         baseline,
         dx100,
         dmp,
     }
 }
 
-fn kernel_name(kernel: &dyn KernelRun) -> &'static str {
-    kernel.name()
-}
-
 /// Runs all kernels at `scale`, optionally including DMP.
 pub fn run_all(scale: f64, with_dmp: bool, seed: u64) -> Vec<KernelRow> {
+    run_all_with(scale, with_dmp, seed, &ObservabilityConfig::default())
+}
+
+/// [`run_all`] with observability applied to every run.
+pub fn run_all_with(
+    scale: f64,
+    with_dmp: bool,
+    seed: u64,
+    obs: &ObservabilityConfig,
+) -> Vec<KernelRow> {
     all_kernels(Scale(scale))
         .iter()
         .map(|k| {
             eprintln!("running {} ...", k.name());
-            run_kernel_row(k.as_ref(), with_dmp, seed)
+            run_kernel_row_with(k.as_ref(), with_dmp, seed, obs)
         })
         .collect()
 }
 
-/// Parses `--scale <f>` from the command line (default 1.0).
-pub fn scale_from_args() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+/// Command-line arguments shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Problem-size scale factor (`--scale`, default 1.0).
+    pub scale: f64,
+    /// Write a machine-readable run report here (`--json`).
+    pub json: Option<PathBuf>,
+    /// Write a Chrome trace here (`--trace`).
+    pub trace: Option<PathBuf>,
+    /// Sample epoch metrics every N cycles (`--epoch`).
+    pub epoch: Option<u64>,
 }
 
-/// Prints a measurement table row-per-kernel.
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 1.0,
+            json: None,
+            trace: None,
+            epoch: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process arguments; prints the problem and exits non-zero
+    /// on anything malformed (a typo'd `--scale` silently running the
+    /// full-size workload for hours is worse than an error).
+    pub fn parse() -> BenchArgs {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--scale <factor>] [--json <path>] [--trace <path>] [--epoch <cycles>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible parser over an explicit argument list (testable).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    out.scale = v
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| format!("invalid --scale value `{v}`"))?;
+                }
+                "--json" => out.json = Some(PathBuf::from(value("--json")?)),
+                "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+                "--epoch" => {
+                    let v = value("--epoch")?;
+                    out.epoch = Some(
+                        v.parse::<u64>()
+                            .ok()
+                            .filter(|e| *e > 0)
+                            .ok_or_else(|| format!("invalid --epoch value `{v}`"))?,
+                    );
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The simulator observability configuration these flags request.
+    pub fn observability(&self) -> ObservabilityConfig {
+        ObservabilityConfig {
+            trace: self.trace.is_some(),
+            epoch_cycles: self.epoch,
+            ..ObservabilityConfig::default()
+        }
+    }
+
+    /// Warns when artifact flags were passed to a binary whose output has
+    /// no per-kernel run shape to report. `supports_json` suppresses the
+    /// warning for `--json` (the binary writes its own report).
+    pub fn warn_unsupported(&self, generator: &str, supports_json: bool) {
+        if self.json.is_some() && !supports_json {
+            eprintln!("note: {generator} does not emit --json reports; flag ignored");
+        }
+        if self.trace.is_some() {
+            eprintln!("note: {generator} does not emit --trace files; flag ignored");
+        }
+        if self.epoch.is_some() {
+            eprintln!("note: {generator} does not report --epoch samples; flag ignored");
+        }
+    }
+
+    /// Writes a JSON report produced by the binary itself (for figures
+    /// whose rows are not kernel × machine runs).
+    pub fn emit_custom_report(&self, report: &Json) {
+        if let Some(path) = &self.json {
+            write_or_die(path, &(report.to_string() + "\n"));
+            eprintln!("wrote report to {}", path.display());
+        }
+    }
+
+    /// Writes the report / trace files requested on the command line.
+    /// Call once after the figure's rows are measured.
+    pub fn emit_artifacts(&self, generator: &str, rows: &[KernelRow]) {
+        if let Some(path) = &self.json {
+            write_or_die(path, &(report_json(generator, self.scale, rows).to_string() + "\n"));
+            eprintln!("wrote report to {}", path.display());
+        }
+        if let Some(path) = &self.trace {
+            write_or_die(path, &trace_json(rows));
+            eprintln!("wrote trace to {} (open in Perfetto)", path.display());
+        }
+    }
+}
+
+fn write_or_die(path: &Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Parses `--scale <f>` from the command line (default 1.0); exits
+/// non-zero on malformed arguments.
+pub fn scale_from_args() -> f64 {
+    BenchArgs::parse().scale
+}
+
+/// The machine-readable report for a set of kernel rows: per-kernel
+/// speedups plus the full [`run_stats_json`] of every run (including epoch
+/// time-series when sampling was on).
+pub fn report_json(generator: &str, scale: f64, rows: &[KernelRow]) -> Json {
+    let speeds: Vec<f64> = rows.iter().map(KernelRow::speedup).collect();
+    obj([
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("generator", generator.into()),
+        ("scale", scale.into()),
+        (
+            "geomean_speedup",
+            dx100_common::stats::geomean(&speeds).into(),
+        ),
+        ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+    ])
+}
+
+fn row_json(r: &KernelRow) -> Json {
+    obj([
+        ("name", r.name.into()),
+        ("speedup", r.speedup().into()),
+        (
+            "speedup_vs_dmp",
+            match r.speedup_vs_dmp() {
+                Some(s) => s.into(),
+                None => Json::Null,
+            },
+        ),
+        (
+            "checksums_match",
+            (r.baseline.checksum == r.dx100.checksum).into(),
+        ),
+        (
+            "runs",
+            obj([
+                ("baseline", run_stats_json(&r.baseline.stats)),
+                ("dx100", run_stats_json(&r.dx100.stats)),
+                (
+                    "dmp",
+                    match &r.dmp {
+                        Some(d) => run_stats_json(&d.stats),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Chrome-trace JSON for every traced run in `rows` (one trace "process"
+/// per kernel × machine).
+pub fn trace_json(rows: &[KernelRow]) -> String {
+    let mut runs = Vec::new();
+    for r in rows {
+        for (mode, result) in [
+            ("baseline", Some(&r.baseline)),
+            ("dx100", Some(&r.dx100)),
+            ("dmp", r.dmp.as_ref()),
+        ] {
+            if let Some(buf) = result.and_then(|w| w.stats.trace.as_ref()) {
+                runs.push((format!("{}/{mode}", r.name), buf));
+            }
+        }
+    }
+    chrome_trace_json(&runs)
+}
+
+/// Prints a measurement table row-per-kernel; the name column is sized to
+/// the longest kernel name.
 pub fn print_table(header: &[&str], rows: &[(String, Vec<f64>)]) {
-    print!("{:<10}", "kernel");
+    let width = rows
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(["kernel".len()])
+        .max()
+        .unwrap_or(6);
+    print!("{:<width$}", "kernel");
     for h in header {
         print!(" {h:>12}");
     }
     println!();
     for (name, vals) in rows {
-        print!("{name:<10}");
+        print!("{name:<width$}");
         for v in vals {
             print!(" {v:>12.3}");
         }
@@ -125,4 +358,59 @@ pub fn summarize(name: &str, s: &RunStats) -> String {
         s.request_buffer_occupancy(),
         s.llc_mpki()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = parse(&[
+            "--scale", "0.05", "--json", "r.json", "--trace", "t.json", "--epoch", "5000",
+        ])
+        .unwrap();
+        assert_eq!(args.scale, 0.05);
+        assert_eq!(args.json.as_deref(), Some(Path::new("r.json")));
+        assert_eq!(args.trace.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(args.epoch, Some(5000));
+        let obs = args.observability();
+        assert!(obs.trace);
+        assert_eq!(obs.epoch_cycles, Some(5000));
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, BenchArgs::default());
+        assert!(!args.observability().trace);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&["--scale", "fast"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--epoch", "0"]).is_err());
+        assert!(parse(&["--epoch", "soon"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn report_has_stable_shape() {
+        let report = report_json("figXX", 0.1, &[]);
+        let parsed = Json::parse(&report.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(parsed.get("generator").and_then(Json::as_str), Some("figXX"));
+        assert!(parsed.get("rows").and_then(Json::as_arr).is_some());
+    }
 }

@@ -1,0 +1,121 @@
+//! End-to-end observability checks: a traced, epoch-sampled simulation
+//! must produce a loadable Chrome trace, a schema-stable JSON report, and
+//! a non-trivial epoch time-series.
+
+use dx100_common::json::Json;
+use dx100_common::trace::chrome_trace_json;
+use dx100_sim::report::run_stats_json;
+use dx100_sim::{ObservabilityConfig, RunStats, SystemConfig};
+use dx100_workloads::micro::allhit::{run_allhit, MicroKind};
+
+fn traced_run(dx100: bool) -> RunStats {
+    let mut cfg = if dx100 {
+        SystemConfig::paper_dx100()
+    } else {
+        SystemConfig::paper_baseline()
+    };
+    cfg.obs = ObservabilityConfig {
+        trace: true,
+        epoch_cycles: Some(2000),
+        ..ObservabilityConfig::default()
+    };
+    run_allhit(MicroKind::GatherFull, dx100, &cfg, 1)
+}
+
+#[test]
+fn traced_run_produces_valid_chrome_trace() {
+    for dx100 in [false, true] {
+        let stats = traced_run(dx100);
+        let buf = stats.trace.as_ref().expect("tracing was enabled");
+        assert!(!buf.events().is_empty(), "traced run recorded no events");
+
+        let text = chrome_trace_json(&[("run".to_string(), buf)]);
+        let parsed = Json::parse(&text).expect("trace must be valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        // Data events (everything after the "M" metadata prefix) must be
+        // sorted by timestamp so viewers never see time run backwards.
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut data_events = 0;
+        let mut cats = std::collections::HashSet::new();
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+            if ph == "M" {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            assert!(
+                ts >= last_ts,
+                "trace timestamps must be non-decreasing ({ts} after {last_ts})"
+            );
+            last_ts = ts;
+            data_events += 1;
+            if let Some(cat) = e.get("cat").and_then(Json::as_str) {
+                cats.insert(cat.to_string());
+            }
+            if ph == "X" {
+                let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(dur >= 1.0, "complete spans need a visible duration");
+            }
+        }
+        assert!(data_events > 0);
+        // A memory-bound gather must exercise DRAM commands and MSHRs; the
+        // accelerated run must additionally show DX100 tile phases.
+        assert!(cats.contains("dram"), "missing dram events: {cats:?}");
+        assert!(cats.contains("mshr"), "missing mshr events: {cats:?}");
+        if dx100 {
+            assert!(cats.contains("dx100"), "missing dx100 events: {cats:?}");
+        }
+    }
+}
+
+#[test]
+fn epoch_series_covers_the_run() {
+    let stats = traced_run(true);
+    assert!(
+        stats.epochs.len() > 1,
+        "a multi-thousand-cycle run at --epoch 2000 must yield several samples, got {}",
+        stats.epochs.len()
+    );
+    // The first epoch starts where the region of interest began (the
+    // sampler rebases on `roi_begin`), and later epochs tile contiguously.
+    let mut prev_end = stats.epochs[0].start_cycle;
+    for e in &stats.epochs {
+        assert_eq!(e.start_cycle, prev_end, "epochs must tile the run");
+        assert!(e.end_cycle > e.start_cycle);
+        assert!(e.end_cycle - e.start_cycle <= 2000);
+        assert!((0.0..=1.0).contains(&e.row_buffer_hit_rate));
+        assert!((0.0..=1.0).contains(&e.bandwidth_utilization));
+        prev_end = e.end_cycle;
+    }
+    // The interval counters must add up to at least the ROI totals (the
+    // series also covers the post-ROI drain, so it may slightly exceed the
+    // snapshot taken at `roi_end`).
+    let total: u64 = stats.epochs.iter().map(|e| e.instructions).sum();
+    assert!(total >= stats.instructions, "{total} < {}", stats.instructions);
+    let reads: u64 = stats.epochs.iter().map(|e| e.dram_reads).sum();
+    assert!(reads >= stats.dram.reads, "{reads} < {}", stats.dram.reads);
+}
+
+#[test]
+fn report_includes_observability_fields() {
+    let stats = traced_run(true);
+    let parsed = Json::parse(&run_stats_json(&stats).to_string()).unwrap();
+    let epochs = parsed.get("epochs").and_then(Json::as_arr).unwrap();
+    assert_eq!(epochs.len(), stats.epochs.len());
+    assert!(
+        parsed.get("trace_events").and_then(Json::as_f64).unwrap() > 0.0
+    );
+}
+
+#[test]
+fn observability_off_records_nothing() {
+    let cfg = SystemConfig::paper_baseline();
+    let stats = run_allhit(MicroKind::GatherFull, false, &cfg, 1);
+    assert!(stats.trace.is_none());
+    assert!(stats.epochs.is_empty());
+}

@@ -5,7 +5,9 @@
 //! addresses ([`Addr`], [`LineAddr`]), the accelerator's data types and ALU
 //! operations ([`DType`], [`AluOp`]) together with bit-exact value arithmetic
 //! ([`value`]), a deterministic [`DelayQueue`] used to model fixed-latency
-//! links, and lightweight statistics helpers ([`stats`]).
+//! links, lightweight statistics helpers ([`stats`]), the observability
+//! layer's event tracing ([`trace`]) and its dependency-free JSON value
+//! ([`json`]).
 //!
 //! # Example
 //!
@@ -21,12 +23,15 @@
 //! ```
 
 pub mod flags;
+pub mod json;
 pub mod queue;
 pub mod stats;
+pub mod trace;
 pub mod types;
 pub mod value;
 
 pub use queue::DelayQueue;
+pub use trace::{SpanTracker, TraceBuffer, TraceHandle};
 pub use types::{
     Addr, AluOp, CoreId, Cycle, DType, LineAddr, ReqId, CACHE_LINE_BYTES, CACHE_LINE_SHIFT,
 };

@@ -43,6 +43,13 @@ impl RunningAverage {
         self.count
     }
 
+    /// Sum of all samples. With [`count`](Self::count) this lets epoch
+    /// samplers compute the mean of an interval from two cumulative
+    /// snapshots: `(sum2 - sum1) / (count2 - count1)`.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Folds another average into this one, as if all samples had been
     /// recorded on a single counter.
     pub fn merge(&mut self, other: &RunningAverage) {

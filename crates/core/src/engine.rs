@@ -5,7 +5,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use dx100_common::flags::FlagId;
-use dx100_common::{Addr, Cycle, LineAddr, ReqId, CACHE_LINE_BYTES};
+use dx100_common::{Addr, Cycle, LineAddr, ReqId, SpanTracker, TraceHandle, CACHE_LINE_BYTES};
 use dx100_dram::{AddrMap, DramConfig, Organization};
 
 use crate::alu_unit::AluUnit;
@@ -94,7 +94,18 @@ pub struct Dx100Engine {
     next_handle: u64,
     halted: Option<ExecError>,
     spd_base: Addr,
+    /// Event sink for tile-phase tracing (`None` = tracing disabled).
+    trace: Option<TraceHandle>,
+    /// One tracker per phase in [`PHASE_NAMES`] order.
+    phase_spans: [SpanTracker; 3],
+    /// `(fill, issue)` activity counters at the previous tick.
+    prev_phase_counts: [u64; 2],
 }
+
+/// Tile phases traced per engine, in `phase_spans` order: index fetch +
+/// snoop (`fill`), coalesced line issue (`issue`), response write-back
+/// (`drain`).
+const PHASE_NAMES: [&str; 3] = ["fill", "issue", "drain"];
 
 impl Dx100Engine {
     /// Builds an engine whose Row Table mirrors `dram`'s bank geometry.
@@ -121,7 +132,25 @@ impl Dx100Engine {
             next_handle: 0,
             halted: None,
             spd_base: SPD_REGION_BASE,
+            trace: None,
+            phase_spans: [SpanTracker::default(); 3],
+            prev_phase_counts: [0; 2],
             cfg,
+        }
+    }
+
+    /// Attaches an event sink; contiguous stretches of tile-phase activity
+    /// (`fill`, `issue`, `drain`) become `dx100` spans.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        self.trace = Some(handle);
+    }
+
+    /// Closes any phase span still open at end of run.
+    pub fn finish_trace(&mut self, now: Cycle) {
+        if let Some(t) = self.trace.clone() {
+            for (i, name) in PHASE_NAMES.iter().enumerate() {
+                self.phase_spans[i].finish(now, &t, "dx100", name);
+            }
         }
     }
 
@@ -269,6 +298,12 @@ impl Dx100Engine {
     /// Clears statistics (ROI boundary).
     pub fn reset_stats(&mut self) {
         self.stats = Dx100Stats::default();
+        self.prev_phase_counts = [0; 2];
+    }
+
+    /// Row Table occupancy: buffered column entries awaiting issue.
+    pub fn queue_depth(&self) -> usize {
+        self.indirect.buffered_columns()
     }
 
     /// TLB statistics `(hits, misses)`.
@@ -368,6 +403,24 @@ impl Dx100Engine {
             }
             self.retired.push((h, flag));
             self.stats.instructions_retired += 1;
+        }
+
+        // 5. Tile-phase tracing: fill/issue activity from counter deltas,
+        //    drain from outstanding indirect responses.
+        if let Some(t) = self.trace.clone() {
+            let cur = [
+                self.stats.snoop_hits + self.stats.snoop_misses,
+                self.stats.indirect_line_reads + self.stats.indirect_line_writes,
+            ];
+            let active = [
+                cur[0] > self.prev_phase_counts[0],
+                cur[1] > self.prev_phase_counts[1],
+                self.indirect.pending_responses() > 0,
+            ];
+            for (i, name) in PHASE_NAMES.iter().enumerate() {
+                self.phase_spans[i].update(active[i], now, &t, "dx100", name);
+            }
+            self.prev_phase_counts = cur;
         }
     }
 

@@ -234,6 +234,21 @@ impl IndirectUnit {
         self.resp_queue.push_back(id);
     }
 
+    /// Requests still draining: in-flight reads/writes plus responses queued
+    /// for the Word Modifier (drives the `drain` trace phase).
+    pub fn pending_responses(&self) -> usize {
+        self.outstanding.len() + self.outstanding_writes.len() + self.resp_queue.len()
+    }
+
+    /// Column entries buffered in the Row Table, across all slices (the
+    /// DX100 queue-depth signal epoch samplers report).
+    pub fn buffered_columns(&self) -> usize {
+        self.slices
+            .iter()
+            .map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>())
+            .sum()
+    }
+
     /// Diagnostic summary of internal occupancy.
     pub fn debug_state(&self) -> String {
         let cols: usize = self.slices.iter().map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>()).sum();

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use dx100_common::flags::{FlagBoard, FlagId};
-use dx100_common::{Addr, CoreId, Cycle, DelayQueue};
+use dx100_common::{Addr, CoreId, Cycle, DelayQueue, SpanTracker, TraceHandle};
 
 use crate::config::CoreConfig;
 use crate::op::{CoreOp, OpStream};
@@ -84,7 +84,16 @@ pub struct Core {
     mem_inflight: usize,
     mmio_signals: Vec<u32>,
     stats: CoreStats,
+    /// Event sink for stall tracing (`None` = tracing disabled).
+    trace: Option<TraceHandle>,
+    /// One tracker per stall reason in [`STALL_NAMES`] order.
+    stall_spans: [SpanTracker; 4],
+    /// Stall counter values at the previous tick, for edge detection.
+    prev_stalls: [u64; 4],
 }
+
+/// Stall reasons traced per core, in `stall_spans` order.
+const STALL_NAMES: [&str; 4] = ["rob_full", "lq_full", "sq_full", "fence"];
 
 #[derive(Debug, Clone, Copy)]
 struct WaitState {
@@ -126,6 +135,24 @@ impl Core {
             mem_inflight: 0,
             mmio_signals: Vec::new(),
             stats: CoreStats::default(),
+            trace: None,
+            stall_spans: [SpanTracker::default(); 4],
+            prev_stalls: [0; 4],
+        }
+    }
+
+    /// Attaches an event sink; contiguous stretches of each stall reason
+    /// (`rob_full`, `lq_full`, `sq_full`, `fence`) become `stall` spans.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        self.trace = Some(handle);
+    }
+
+    /// Closes any stall span still open at end of run.
+    pub fn finish_trace(&mut self, now: Cycle) {
+        if let Some(t) = self.trace.clone() {
+            for (i, name) in STALL_NAMES.iter().enumerate() {
+                self.stall_spans[i].finish(now, &t, "stall", name);
+            }
         }
     }
 
@@ -165,6 +192,7 @@ impl Core {
     /// Clears statistics (ROI boundary).
     pub fn reset_stats(&mut self) {
         self.stats = CoreStats::default();
+        self.prev_stalls = [0; 4];
     }
 
     /// Signals from completed MMIO ops (DX100 instruction beats), in
@@ -290,6 +318,21 @@ impl Core {
         // 5. Occupancy statistics (Figure 10c analysis inputs).
         self.stats.rob_occupancy.sample(self.rob.len() as f64);
         self.stats.lq_occupancy.sample(self.lq_used as f64);
+
+        // 6. Stall tracing: a reason is active this cycle iff its counter
+        //    advanced since the previous tick.
+        if let Some(t) = self.trace.clone() {
+            let cur = [
+                self.stats.stall_rob_full,
+                self.stats.stall_lq_full,
+                self.stats.stall_sq_full,
+                self.stats.stall_fence,
+            ];
+            for (i, name) in STALL_NAMES.iter().enumerate() {
+                self.stall_spans[i].update(cur[i] > self.prev_stalls[i], now, &t, "stall", name);
+            }
+            self.prev_stalls = cur;
+        }
     }
 
     fn entry_mut(&mut self, seq: u64) -> Option<&mut Entry> {

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use dx100_common::{Cycle, DelayQueue};
+use dx100_common::{Cycle, DelayQueue, TraceHandle};
 
 use crate::channel::Channel;
 use crate::config::DramConfig;
@@ -45,6 +45,8 @@ pub struct ChannelController {
     next_refresh: Cycle,
     /// While set, the channel is mid-refresh and issues nothing.
     refresh_until: Cycle,
+    /// Event sink for DRAM command tracing (`None` = tracing disabled).
+    trace: Option<TraceHandle>,
 }
 
 impl ChannelController {
@@ -60,7 +62,14 @@ impl ChannelController {
             stats: DramStats::default(),
             next_refresh,
             refresh_until: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches an event sink; commands (ACT/PRE instants, RD/WR/REF spans)
+    /// are recorded onto it from then on.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        self.trace = Some(handle);
     }
 
     /// Free request-buffer slots.
@@ -131,6 +140,9 @@ impl ChannelController {
                 self.refresh_until = now + self.config.timings.t_rfc;
                 self.next_refresh += self.config.timings.t_refi;
                 self.stats.refreshes += 1;
+                if let Some(t) = &self.trace {
+                    t.span("dram", "REF", now, self.refresh_until);
+                }
                 return;
             }
             // Close open banks as their timing allows; no new ACT/CAS.
@@ -163,6 +175,9 @@ impl ChannelController {
         for b in 0..self.channel.num_banks() {
             if self.channel.bank(b).open_row().is_some() && self.channel.can_pre(b, now) {
                 self.channel.issue_pre(b, now);
+                if let Some(t) = &self.trace {
+                    t.instant("dram", format!("PRE b{b}"), now);
+                }
                 return;
             }
         }
@@ -206,6 +221,10 @@ impl ChannelController {
             p.req.is_write,
             now,
         );
+        if let Some(t) = &self.trace {
+            let op = if p.req.is_write { "WR" } else { "RD" };
+            t.span("dram", format!("{op} b{}", p.bank_idx), now, data_end);
+        }
         self.stats.row_hits_misses.record(!p.caused_act);
         self.stats.queue_latency.sample((now - p.arrived_at) as f64);
         if p.req.is_write {
@@ -253,6 +272,9 @@ impl ChannelController {
                 let (bank_idx, rank, bg) = (p.bank_idx, p.coord.rank, p.coord.bank_group);
                 self.buffer[i].caused_act = true;
                 self.channel.issue_act(bank_idx, rank, bg, row, now);
+                if let Some(t) = &self.trace {
+                    t.instant("dram", format!("ACT b{bank_idx}"), now);
+                }
                 return true;
             }
         }
@@ -289,6 +311,9 @@ impl ChannelController {
             }
             if self.channel.can_pre(p.bank_idx, now) {
                 self.channel.issue_pre(p.bank_idx, now);
+                if let Some(t) = &self.trace {
+                    t.instant("dram", format!("PRE b{}", p.bank_idx), now);
+                }
                 return true;
             }
         }

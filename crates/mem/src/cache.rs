@@ -1,9 +1,9 @@
 //! One cache level: tag array + MSHR file + optional stride prefetcher,
 //! with a latency-modeled lookup pipeline.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use dx100_common::{Cycle, DelayQueue, LineAddr};
+use dx100_common::{Cycle, DelayQueue, LineAddr, TraceHandle};
 
 use crate::array::{CacheArray, Victim};
 use crate::config::CacheConfig;
@@ -46,6 +46,10 @@ pub struct Cache {
     ports: usize,
     stats: CacheStats,
     scratch_candidates: Vec<LineAddr>,
+    /// Event sink for MSHR lifecycle tracing (`None` = tracing disabled).
+    trace: Option<TraceHandle>,
+    /// Allocation times of outstanding misses; populated only while tracing.
+    miss_since: HashMap<LineAddr, Cycle>,
 }
 
 impl Cache {
@@ -63,8 +67,16 @@ impl Cache {
             ports,
             stats: CacheStats::default(),
             scratch_candidates: Vec::new(),
+            trace: None,
+            miss_since: HashMap::new(),
             config,
         }
+    }
+
+    /// Attaches an event sink; each miss line's allocation → fill lifetime
+    /// is recorded as one `mshr` span from then on.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        self.trace = Some(handle);
     }
 
     /// Enqueues an access; its lookup completes after the hit latency.
@@ -118,11 +130,11 @@ impl Cache {
             } else {
                 break;
             };
-            self.lookup(access, out);
+            self.lookup(access, now, out);
         }
     }
 
-    fn lookup(&mut self, access: Access, out: &mut CacheOutputs) {
+    fn lookup(&mut self, access: Access, now: Cycle, out: &mut CacheOutputs) {
         // Train the prefetcher on demand accesses.
         if !access.is_prefetch {
             if let Some(pf) = self.prefetcher.as_mut() {
@@ -130,7 +142,7 @@ impl Cache {
                 pf.observe(access.stream, access.line, &mut self.scratch_candidates);
                 let candidates = std::mem::take(&mut self.scratch_candidates);
                 for line in &candidates {
-                    self.issue_prefetch(*line, access.stream, out);
+                    self.issue_prefetch(*line, access.stream, now, out);
                 }
                 self.scratch_candidates = candidates;
             }
@@ -166,6 +178,7 @@ impl Cache {
                     match self.mshr.register(access) {
                         MshrOutcome::Allocated => {
                             self.stats.prefetch_issued += 1;
+                            self.note_miss_allocated(access.line, now);
                             out.downstream.push(access);
                         }
                         MshrOutcome::Coalesced => {}
@@ -177,7 +190,10 @@ impl Cache {
                     self.stats.demand_misses += 1;
                 }
                 match self.mshr.register(access) {
-                    MshrOutcome::Allocated => out.downstream.push(access),
+                    MshrOutcome::Allocated => {
+                        self.note_miss_allocated(access.line, now);
+                        out.downstream.push(access);
+                    }
                     MshrOutcome::Coalesced => {
                         self.stats.mshr_coalesced += 1;
                     }
@@ -195,7 +211,7 @@ impl Cache {
         }
     }
 
-    fn issue_prefetch(&mut self, line: LineAddr, stream: u32, out: &mut CacheOutputs) {
+    fn issue_prefetch(&mut self, line: LineAddr, stream: u32, now: Cycle, out: &mut CacheOutputs) {
         if self.array.contains(line) || self.mshr.is_pending(line) {
             return;
         }
@@ -209,13 +225,26 @@ impl Cache {
         };
         if let MshrOutcome::Allocated = self.mshr.register(access) {
             self.stats.prefetch_issued += 1;
+            self.note_miss_allocated(line, now);
             out.downstream.push(access);
+        }
+    }
+
+    /// Remembers a miss's allocation time (tracing only).
+    fn note_miss_allocated(&mut self, line: LineAddr, now: Cycle) {
+        if self.trace.is_some() {
+            self.miss_since.insert(line, now);
         }
     }
 
     /// Fills `line` into the array, releasing MSHR waiters. Demand-store
     /// waiters mark the line dirty immediately (write-allocate replay).
-    pub fn fill(&mut self, line: LineAddr) -> FillResult {
+    pub fn fill(&mut self, line: LineAddr, now: Cycle) -> FillResult {
+        if let Some(t) = &self.trace {
+            if let Some(start) = self.miss_since.remove(&line) {
+                t.span("mshr", format!("miss 0x{:x}", line.0), start, now);
+            }
+        }
         let waiters = self.mshr.complete(line);
         let all_prefetch = !waiters.is_empty() && waiters.iter().all(|w| w.is_prefetch);
         let victim = self.array.insert(line, false, all_prefetch);
@@ -283,7 +312,7 @@ mod tests {
     #[test]
     fn hit_after_fill_completes() {
         let mut c = small_cache();
-        c.fill(LineAddr(7));
+        c.fill(LineAddr(7), 0);
         c.accept(Access::load(2, LineAddr(7), 0, Requester::Core(0)), 0);
         let out = drive(&mut c, 10);
         assert_eq!(out.completed.len(), 1);
@@ -298,7 +327,7 @@ mod tests {
         c.accept(Access::load(2, LineAddr(7), 0, Requester::Core(0)), 0);
         let out = drive(&mut c, 10);
         assert_eq!(out.downstream.len(), 1, "one downstream request per line");
-        let fill = c.fill(LineAddr(7));
+        let fill = c.fill(LineAddr(7), 0);
         assert_eq!(fill.waiters.len(), 2, "both waiters released");
     }
 
@@ -312,7 +341,7 @@ mod tests {
         assert_eq!(out.downstream.len(), 2, "third miss blocked by MSHRs");
         assert!(c.stats().mshr_full_stalls > 0);
         // Fill one line; the retried access then allocates.
-        c.fill(LineAddr(10));
+        c.fill(LineAddr(10), 0);
         let out2 = drive(&mut c, 8);
         assert_eq!(out2.downstream.len(), 1);
         assert_eq!(out2.downstream[0].line, LineAddr(30));
@@ -323,14 +352,14 @@ mod tests {
         let mut c = small_cache();
         c.accept(Access::store(1, LineAddr(5), 0, Requester::Core(0)), 0);
         drive(&mut c, 10);
-        c.fill(LineAddr(5));
+        c.fill(LineAddr(5), 0);
         // Evict it by filling the same set until displacement; the victim
         // must come back dirty. Set index of line 5 with 16 sets: fill the
         // same set with 4 more lines (4 ways).
         let sets = 4 * 1024 / 64 / 4;
         let mut dirty_seen = false;
         for k in 1..=4u64 {
-            let r = c.fill(LineAddr(5 + k * sets as u64));
+            let r = c.fill(LineAddr(5 + k * sets as u64), 0);
             if r.dirty_victim == Some(LineAddr(5)) {
                 dirty_seen = true;
             }
@@ -362,7 +391,7 @@ mod tests {
     fn ports_bound_throughput() {
         let mut c = small_cache(); // 2 ports
         for i in 0..6u64 {
-            c.fill(LineAddr(i));
+            c.fill(LineAddr(i), 0);
             c.accept(Access::load(i, LineAddr(i), 0, Requester::Core(0)), 0);
         }
         let mut out = CacheOutputs::default();

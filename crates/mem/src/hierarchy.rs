@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use dx100_common::{CoreId, Cycle, DelayQueue, LineAddr, ReqId};
+use dx100_common::{CoreId, Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 
 use crate::cache::{Cache, CacheOutputs};
 use crate::config::HierarchyConfig;
@@ -171,7 +171,7 @@ impl MemoryHierarchy {
                 Msg::AccessL2(core, acc) => self.l2[core].accept(acc, now),
                 Msg::AccessLlc(acc) => self.llc.accept(acc, now),
                 Msg::FillL2(core, line) => self.fill_l2(core, line, now, to_dram),
-                Msg::FillL1(core, line) => self.fill_l1(core, line, to_dram),
+                Msg::FillL1(core, line) => self.fill_l1(core, line, now, to_dram),
             }
         }
 
@@ -236,7 +236,7 @@ impl MemoryHierarchy {
     /// Delivers a DRAM read completion: fills the LLC and propagates fills
     /// (and write-backs) upward.
     pub fn dram_fill(&mut self, line: LineAddr, now: Cycle, to_dram: &mut Vec<DramBound>) {
-        let result = self.llc.fill(line);
+        let result = self.llc.fill(line, now);
         if let Some(victim) = result.dirty_victim {
             to_dram.push(DramBound {
                 line: victim,
@@ -261,7 +261,7 @@ impl MemoryHierarchy {
     }
 
     fn fill_l2(&mut self, core: CoreId, line: LineAddr, now: Cycle, to_dram: &mut Vec<DramBound>) {
-        let result = self.l2[core].fill(line);
+        let result = self.l2[core].fill(line, now);
         if let Some(victim) = result.dirty_victim {
             self.writeback_to_llc(victim, to_dram);
         }
@@ -282,8 +282,8 @@ impl MemoryHierarchy {
         }
     }
 
-    fn fill_l1(&mut self, core: CoreId, line: LineAddr, to_dram: &mut Vec<DramBound>) {
-        let result = self.l1[core].fill(line);
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr, now: Cycle, to_dram: &mut Vec<DramBound>) {
+        let result = self.l1[core].fill(line, now);
         if let Some(victim) = result.dirty_victim {
             if let Some(v2) = self.l2[core].insert_writeback(victim) {
                 self.writeback_to_llc(v2, to_dram);
@@ -355,6 +355,18 @@ impl MemoryHierarchy {
             c.reset_stats();
         }
         self.llc.reset_stats();
+    }
+
+    /// Attaches event tracing: every cache level's MSHR file gets its own
+    /// track recording miss allocation → fill spans.
+    pub fn attach_trace(&mut self, root: &TraceHandle) {
+        for (c, cache) in self.l1.iter_mut().enumerate() {
+            cache.set_trace(root.track(format!("L1.{c} MSHR")));
+        }
+        for (c, cache) in self.l2.iter_mut().enumerate() {
+            cache.set_trace(root.track(format!("L2.{c} MSHR")));
+        }
+        self.llc.set_trace(root.track("LLC MSHR"));
     }
 }
 

@@ -6,6 +6,36 @@ use dx100_dram::DramConfig;
 use dx100_mem::HierarchyConfig;
 use dx100_prefetch::DmpConfig;
 
+/// Observability switches: event tracing and epoch time-series sampling.
+/// Both default to off, in which case the simulator records nothing and
+/// pays no cost (components hold no trace handle, the tick loop skips the
+/// sampler entirely).
+#[derive(Debug, Clone)]
+pub struct ObservabilityConfig {
+    /// Record trace events (DRAM commands, MSHR lifecycles, DX100 tile
+    /// phases, core stalls) for Chrome-trace export.
+    pub trace: bool,
+    /// Maximum events retained per run; later events are counted as
+    /// dropped rather than grown without bound.
+    pub trace_capacity: usize,
+    /// Snapshot epoch metrics every N CPU cycles (`None` = off).
+    pub epoch_cycles: Option<u64>,
+}
+
+/// Default per-run trace event cap (bounds file size when a figure binary
+/// traces dozens of runs).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            epoch_cycles: None,
+        }
+    }
+}
+
 /// Configuration of the simulated machine.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -30,6 +60,8 @@ pub struct SystemConfig {
     pub region_acquire_latency: u64,
     /// Hard simulation cap (guards against driver deadlocks).
     pub max_cycles: u64,
+    /// Event tracing and epoch sampling (off by default).
+    pub obs: ObservabilityConfig,
 }
 
 impl SystemConfig {
@@ -47,6 +79,7 @@ impl SystemConfig {
             cpu_cycles_per_dram_tick: 2,
             region_acquire_latency: 100,
             max_cycles: 200_000_000,
+            obs: ObservabilityConfig::default(),
         }
     }
 

@@ -1,0 +1,301 @@
+//! Epoch time-series sampling.
+//!
+//! The [`EpochSampler`] is driven from the [`System`](crate::System) tick
+//! loop: every `epoch_cycles` CPU cycles it diffs the cumulative
+//! [`RunStats`] against the previous boundary snapshot and records one
+//! [`EpochSample`] of *interval* metrics (row-buffer hit rate, bandwidth
+//! utilisation, MPKI, ... over just that epoch, not since the start of the
+//! run). This is what lets a run report show e.g. bandwidth ramping up as
+//! the DX100 request buffers fill, instead of a single end-of-run average.
+//!
+//! Counters that are plain sums diff with `saturating_sub`; metrics backed
+//! by a [`Ratio`](dx100_common::stats::Ratio) or
+//! [`RunningAverage`](dx100_common::stats::RunningAverage) diff the
+//! underlying (sum, count) pairs so the interval mean is exact.
+
+use crate::stats::RunStats;
+
+/// Metrics for one epoch (an interval of `end_cycle - start_cycle` CPU
+/// cycles). All counters are deltas over the interval; rates are computed
+/// from interval deltas only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSample {
+    /// First cycle of the interval (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle of the interval (exclusive).
+    pub end_cycle: u64,
+    /// Instructions retired across all cores during the interval.
+    pub instructions: u64,
+    /// DRAM read CAS commands issued during the interval.
+    pub dram_reads: u64,
+    /// DRAM write CAS commands issued during the interval.
+    pub dram_writes: u64,
+    /// Row-buffer hit rate over the interval's CAS commands.
+    pub row_buffer_hit_rate: f64,
+    /// Fraction of DRAM data-bus ticks busy during the interval.
+    pub bandwidth_utilization: f64,
+    /// Mean per-channel request-buffer occupancy over the interval.
+    pub request_buffer_occupancy: f64,
+    /// LLC demand misses during the interval.
+    pub llc_misses: u64,
+    /// LLC misses per kilo-instruction over the interval.
+    pub llc_mpki: f64,
+    /// DX100 Row Table column entries buffered at the epoch boundary
+    /// (instantaneous queue depth, summed over instances).
+    pub dx100_queue_depth: u64,
+}
+
+/// Cumulative counter snapshot at the previous epoch boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct Baseline {
+    cycle: u64,
+    instructions: u64,
+    dram_reads: u64,
+    dram_writes: u64,
+    row_hits: u64,
+    row_misses: u64,
+    data_busy_ticks: u64,
+    dram_ticks: u64,
+    occupancy_sum: f64,
+    occupancy_count: u64,
+    llc_misses: u64,
+}
+
+impl Baseline {
+    fn capture(cycle: u64, stats: &RunStats) -> Self {
+        Baseline {
+            cycle,
+            instructions: stats.instructions,
+            dram_reads: stats.dram.reads,
+            dram_writes: stats.dram.writes,
+            row_hits: stats.dram.row_hits_misses.hits(),
+            row_misses: stats.dram.row_hits_misses.misses(),
+            data_busy_ticks: stats.dram.data_busy_ticks,
+            dram_ticks: stats.dram.ticks,
+            occupancy_sum: stats.dram.occupancy.sum(),
+            occupancy_count: stats.dram.occupancy.count(),
+            llc_misses: stats.hierarchy.llc.demand_misses,
+        }
+    }
+}
+
+/// Samples interval metrics every `epoch` cycles. See the module docs.
+#[derive(Debug)]
+pub struct EpochSampler {
+    epoch: u64,
+    next_boundary: u64,
+    prev: Baseline,
+    samples: Vec<EpochSample>,
+}
+
+impl EpochSampler {
+    /// A sampler firing every `epoch` cycles, starting at `start_cycle`.
+    /// `epoch` is clamped to at least 1.
+    pub fn new(epoch: u64, start_cycle: u64) -> Self {
+        let epoch = epoch.max(1);
+        EpochSampler {
+            epoch,
+            next_boundary: start_cycle + epoch,
+            prev: Baseline {
+                cycle: start_cycle,
+                ..Baseline::default()
+            },
+            samples: Vec::new(),
+        }
+    }
+
+    /// True when `now` has reached the next epoch boundary; the caller
+    /// should then collect cumulative stats and call [`sample`](Self::sample).
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.next_boundary
+    }
+
+    /// Record the interval ending at `now` from cumulative `stats`, then
+    /// advance the boundary past `now`.
+    pub fn sample(&mut self, now: u64, stats: &RunStats, dx100_queue_depth: u64) {
+        self.push_interval(now, stats, dx100_queue_depth);
+        while self.next_boundary <= now {
+            self.next_boundary += self.epoch;
+        }
+    }
+
+    /// Record the final (possibly partial) epoch at end of run. A no-op if
+    /// no cycles elapsed since the last boundary.
+    pub fn finish(&mut self, now: u64, stats: &RunStats, dx100_queue_depth: u64) {
+        if now > self.prev.cycle {
+            self.push_interval(now, stats, dx100_queue_depth);
+        }
+    }
+
+    /// Restart sampling at `now` with zeroed counters. Called when the
+    /// region of interest begins: the simulator resets all component stats
+    /// there, so both the baseline snapshot and any pre-ROI samples are
+    /// discarded.
+    pub fn rebase(&mut self, now: u64) {
+        self.prev = Baseline {
+            cycle: now,
+            ..Baseline::default()
+        };
+        self.next_boundary = now + self.epoch;
+        self.samples.clear();
+    }
+
+    /// Samples collected so far (drains the sampler).
+    pub fn take_samples(&mut self) -> Vec<EpochSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    fn push_interval(&mut self, now: u64, stats: &RunStats, dx100_queue_depth: u64) {
+        let cur = Baseline::capture(now, stats);
+        let p = &self.prev;
+        let instructions = cur.instructions.saturating_sub(p.instructions);
+        let reads = cur.dram_reads.saturating_sub(p.dram_reads);
+        let writes = cur.dram_writes.saturating_sub(p.dram_writes);
+        let hits = cur.row_hits.saturating_sub(p.row_hits);
+        let misses = cur.row_misses.saturating_sub(p.row_misses);
+        let cas = hits + misses;
+        let busy = cur.data_busy_ticks.saturating_sub(p.data_busy_ticks);
+        let ticks = cur.dram_ticks.saturating_sub(p.dram_ticks);
+        let occ_count = cur.occupancy_count.saturating_sub(p.occupancy_count);
+        let occ_sum = (cur.occupancy_sum - p.occupancy_sum).max(0.0);
+        let llc_misses = cur.llc_misses.saturating_sub(p.llc_misses);
+        self.samples.push(EpochSample {
+            start_cycle: p.cycle,
+            end_cycle: now,
+            instructions,
+            dram_reads: reads,
+            dram_writes: writes,
+            row_buffer_hit_rate: if cas > 0 { hits as f64 / cas as f64 } else { 0.0 },
+            bandwidth_utilization: if ticks > 0 { busy as f64 / ticks as f64 } else { 0.0 },
+            request_buffer_occupancy: if occ_count > 0 {
+                occ_sum / occ_count as f64
+            } else {
+                0.0
+            },
+            llc_misses,
+            llc_mpki: if instructions > 0 {
+                llc_misses as f64 * 1000.0 / instructions as f64
+            } else {
+                0.0
+            },
+            dx100_queue_depth,
+        });
+        self.prev = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cumulative stats with the counters the sampler reads set to simple
+    /// linear functions of `cycle`, so interval deltas are predictable.
+    fn cumulative(cycle: u64) -> RunStats {
+        let mut s = RunStats::default();
+        s.cycles = cycle;
+        s.instructions = cycle * 2;
+        s.dram.reads = cycle / 10;
+        s.dram.writes = cycle / 20;
+        s.dram.ticks = cycle / 2;
+        s.dram.data_busy_ticks = cycle / 4;
+        for _ in 0..cycle / 10 {
+            s.dram.row_hits_misses.hit();
+        }
+        for _ in 0..cycle / 20 {
+            s.dram.row_hits_misses.miss();
+        }
+        for _ in 0..cycle / 100 {
+            s.dram.occupancy.sample(8.0);
+        }
+        s.hierarchy.llc.demand_misses = cycle / 50;
+        s
+    }
+
+    #[test]
+    fn boundaries_fire_every_epoch() {
+        let mut sampler = EpochSampler::new(1000, 0);
+        assert!(!sampler.due(999));
+        assert!(sampler.due(1000));
+        for now in [1000u64, 2000, 3000] {
+            assert!(sampler.due(now));
+            sampler.sample(now, &cumulative(now), 0);
+            assert!(!sampler.due(now));
+        }
+        let samples = sampler.take_samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].start_cycle, 0);
+        assert_eq!(samples[0].end_cycle, 1000);
+        assert_eq!(samples[2].start_cycle, 2000);
+        assert_eq!(samples[2].end_cycle, 3000);
+    }
+
+    #[test]
+    fn samples_are_interval_deltas_not_cumulative() {
+        let mut sampler = EpochSampler::new(1000, 0);
+        sampler.sample(1000, &cumulative(1000), 3);
+        sampler.sample(2000, &cumulative(2000), 5);
+        let samples = sampler.take_samples();
+        // Each epoch covers 1000 cycles: 2000 instructions, 100 reads,
+        // 50 writes, 20 LLC misses — identical per epoch because the
+        // cumulative counters grow linearly.
+        for s in &samples {
+            assert_eq!(s.instructions, 2000);
+            assert_eq!(s.dram_reads, 100);
+            assert_eq!(s.dram_writes, 50);
+            assert_eq!(s.llc_misses, 20);
+            // 100 hits vs 50 misses per epoch.
+            assert!((s.row_buffer_hit_rate - 100.0 / 150.0).abs() < 1e-12);
+            // 250 busy of 500 DRAM ticks.
+            assert!((s.bandwidth_utilization - 0.5).abs() < 1e-12);
+            // Occupancy samples are all 8.0, so the interval mean is too.
+            assert!((s.request_buffer_occupancy - 8.0).abs() < 1e-12);
+            // 20 misses per 2000 instructions = 10 MPKI.
+            assert!((s.llc_mpki - 10.0).abs() < 1e-12);
+        }
+        assert_eq!(samples[0].dx100_queue_depth, 3);
+        assert_eq!(samples[1].dx100_queue_depth, 5);
+    }
+
+    #[test]
+    fn finish_records_partial_epoch_once() {
+        let mut sampler = EpochSampler::new(1000, 0);
+        sampler.sample(1000, &cumulative(1000), 0);
+        sampler.finish(1400, &cumulative(1400), 0);
+        // A second finish at the same cycle adds nothing.
+        sampler.finish(1400, &cumulative(1400), 0);
+        let samples = sampler.take_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].start_cycle, 1000);
+        assert_eq!(samples[1].end_cycle, 1400);
+        assert_eq!(samples[1].instructions, 800);
+    }
+
+    #[test]
+    fn rebase_discards_pre_roi_samples_and_counters() {
+        let mut sampler = EpochSampler::new(1000, 0);
+        sampler.sample(1000, &cumulative(1000), 0);
+        // ROI begins at cycle 1500; component stats reset to zero there.
+        sampler.rebase(1500);
+        assert!(!sampler.due(2400));
+        assert!(sampler.due(2500));
+        // Cumulative stats restart from zero after the ROI reset: 900
+        // cycles of progress by cycle 2400... the sampler must diff
+        // against the rebased (zero) baseline, not the pre-ROI snapshot.
+        sampler.sample(2500, &cumulative(1000), 0);
+        let samples = sampler.take_samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].start_cycle, 1500);
+        assert_eq!(samples[0].end_cycle, 2500);
+        assert_eq!(samples[0].instructions, 2000);
+    }
+
+    #[test]
+    fn boundary_skips_past_long_gaps() {
+        let mut sampler = EpochSampler::new(100, 0);
+        // The tick loop might only check every so often; after a sample at
+        // cycle 570 the next boundary must be 600, not a burst at 200/300...
+        sampler.sample(570, &cumulative(570), 0);
+        assert!(!sampler.due(599));
+        assert!(sampler.due(600));
+    }
+}

@@ -33,12 +33,15 @@
 pub mod channel;
 pub mod config;
 pub mod driver;
+pub mod epoch;
 pub mod region;
+pub mod report;
 pub mod stats;
 pub mod system;
 
 pub use channel::ChannelStream;
-pub use config::SystemConfig;
+pub use config::{ObservabilityConfig, SystemConfig};
 pub use driver::{Driver, DriverStatus};
+pub use epoch::{EpochSample, EpochSampler};
 pub use stats::RunStats;
 pub use system::System;

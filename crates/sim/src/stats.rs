@@ -1,5 +1,7 @@
 //! Run statistics: the measured quantities behind Figures 8–14.
 
+use crate::epoch::EpochSample;
+use dx100_common::TraceBuffer;
 use dx100_core::Dx100Stats;
 use dx100_cpu::CoreStats;
 use dx100_dram::stats::system_bandwidth_utilization;
@@ -7,7 +9,7 @@ use dx100_dram::DramStats;
 use dx100_mem::HierarchyStats;
 
 /// Everything measured over one region of interest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// ROI length in CPU cycles.
     pub cycles: u64,
@@ -25,6 +27,10 @@ pub struct RunStats {
     pub dx100: Option<Dx100Stats>,
     /// DMP prefetches issued, when the prefetcher was present.
     pub dmp_prefetches: u64,
+    /// Epoch time-series samples, when epoch sampling was enabled.
+    pub epochs: Vec<EpochSample>,
+    /// Recorded trace events, when tracing was enabled.
+    pub trace: Option<TraceBuffer>,
 }
 
 impl RunStats {
@@ -81,12 +87,8 @@ mod tests {
         RunStats {
             cycles,
             instructions: 1000,
-            core: CoreStats::default(),
-            dram: DramStats::default(),
             dram_channels: 2,
-            hierarchy: HierarchyStats::default(),
-            dx100: None,
-            dmp_prefetches: 0,
+            ..RunStats::default()
         }
     }
 

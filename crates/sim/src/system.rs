@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use dx100_common::flags::{FlagBoard, FlagId};
-use dx100_common::{Addr, CoreId, Cycle, DelayQueue, LineAddr, ReqId};
+use dx100_common::{Addr, CoreId, Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 use dx100_core::isa::{Instruction, RegId, TileId};
 use dx100_core::{Dx100Engine, MemPorts, MemoryImage};
 use dx100_cpu::{Core, CoreOp, MemKind, OpStream};
@@ -14,6 +14,7 @@ use dx100_prefetch::Dmp;
 use crate::channel::ChannelStream;
 use crate::config::SystemConfig;
 use crate::driver::{Driver, DriverStatus};
+use crate::epoch::EpochSampler;
 use crate::region::{RegionCoherence, RegionGrant};
 use crate::stats::RunStats;
 
@@ -111,17 +112,21 @@ pub struct System {
     roi_snapshot: Option<RunStats>,
     issue_scratch: Vec<(CoreId, dx100_cpu::MemIssue)>,
     to_dram_scratch: Vec<DramBound>,
+    /// Root trace handle when tracing is on; components hold child handles.
+    trace_root: Option<TraceHandle>,
+    /// Epoch time-series sampler when epoch sampling is on.
+    sampler: Option<EpochSampler>,
 }
 
 impl System {
     /// Builds the machine over an application memory image.
     pub fn new(cfg: SystemConfig, image: MemoryImage) -> Self {
         let channels: Vec<ChannelStream> = (0..cfg.cores).map(|_| ChannelStream::new()).collect();
-        let cores = (0..cfg.cores)
+        let mut cores: Vec<Core> = (0..cfg.cores)
             .map(|c| Core::new(c, cfg.core.clone(), Box::new(channels[c].clone())))
             .collect();
-        let hier = MemoryHierarchy::new(cfg.hierarchy.clone());
-        let dram = DramSystem::new(cfg.dram.clone());
+        let mut hier = MemoryHierarchy::new(cfg.hierarchy.clone());
+        let mut dram = DramSystem::new(cfg.dram.clone());
         let mut engines = Vec::new();
         if let Some(dxcfg) = &cfg.dx100 {
             for i in 0..cfg.dx100_instances {
@@ -136,6 +141,21 @@ impl System {
         let core_engine = (0..cfg.cores).map(|c| c / per).collect();
         let dmp = cfg.dmp.map(|d| Dmp::new(d, cfg.cores));
         let instr_delivery = (0..engines.len()).map(|_| VecDeque::new()).collect();
+        let trace_root = cfg
+            .obs
+            .trace
+            .then(|| TraceHandle::root(cfg.obs.trace_capacity));
+        if let Some(root) = &trace_root {
+            dram.attach_trace(root, cfg.cpu_cycles_per_dram_tick);
+            hier.attach_trace(root);
+            for (c, core) in cores.iter_mut().enumerate() {
+                core.set_trace(root.track(format!("core{c}")));
+            }
+            for (i, engine) in engines.iter_mut().enumerate() {
+                engine.set_trace(root.track(format!("DX100.{i}")));
+            }
+        }
+        let sampler = cfg.obs.epoch_cycles.map(|e| EpochSampler::new(e, 0));
         System {
             clock: 0,
             cores,
@@ -160,6 +180,8 @@ impl System {
             roi_snapshot: None,
             issue_scratch: Vec::new(),
             to_dram_scratch: Vec::new(),
+            trace_root,
+            sampler,
             cfg,
         }
     }
@@ -368,6 +390,9 @@ impl System {
         for e in &mut self.engines {
             e.reset_stats();
         }
+        if let Some(s) = &mut self.sampler {
+            s.rebase(self.clock);
+        }
     }
 
     /// Ends the region of interest, snapshotting statistics.
@@ -401,7 +426,39 @@ impl System {
                 self.debug_snapshot()
             );
         }
-        self.roi_snapshot.take().unwrap_or_else(|| self.collect_stats())
+        self.finalize_observability()
+    }
+
+    /// Closes open trace spans, records the final (partial) epoch, and
+    /// attaches both to the run's statistics.
+    fn finalize_observability(&mut self) -> RunStats {
+        let now = self.clock;
+        if self.trace_root.is_some() {
+            for c in &mut self.cores {
+                c.finish_trace(now);
+            }
+            for e in &mut self.engines {
+                e.finish_trace(now);
+            }
+        }
+        let mut stats = self.roi_snapshot.take().unwrap_or_else(|| self.collect_stats());
+        if self.sampler.is_some() {
+            let cumulative = self.collect_stats();
+            let depth = self.dx100_queue_depth();
+            if let Some(s) = &mut self.sampler {
+                s.finish(now, &cumulative, depth);
+                stats.epochs = s.take_samples();
+            }
+        }
+        if let Some(root) = &self.trace_root {
+            stats.trace = Some(root.snapshot());
+        }
+        stats
+    }
+
+    /// Row Table column entries buffered across all DX100 instances.
+    fn dx100_queue_depth(&self) -> u64 {
+        self.engines.iter().map(|e| e.queue_depth() as u64).sum()
     }
 
     fn is_drained(&self) -> bool {
@@ -557,6 +614,15 @@ impl System {
         // --- Core memory responses. ---
         while let Some(resp) = self.hier.pop_core_response() {
             self.cores[resp.core].mem_complete(resp.id, now);
+        }
+
+        // --- Epoch boundary: snapshot interval metrics. ---
+        if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
+            let cumulative = self.collect_stats();
+            let depth = self.dx100_queue_depth();
+            if let Some(s) = &mut self.sampler {
+                s.sample(now, &cumulative, depth);
+            }
         }
 
         self.clock += 1;
@@ -748,6 +814,8 @@ impl System {
             hierarchy: self.hier.stats(),
             dx100: dxs,
             dmp_prefetches: self.dmp.as_ref().map(|d| d.issued).unwrap_or(0),
+            epochs: Vec::new(),
+            trace: None,
         }
     }
 }

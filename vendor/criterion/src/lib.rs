@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds on machines with no crates.io access, so the
+//! `[patch.crates-io]` table points `criterion` at this vendored
+//! implementation. It performs *real* wall-clock measurement (warmup, then
+//! repeated timed batches, reporting min/mean per iteration) so `cargo
+//! bench` numbers remain meaningful for regression checks — it just lacks
+//! upstream's statistical machinery, plots, and HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark after warmup.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Wall-clock budget for warmup.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching upstream's display format.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: find an iteration count that fills ~10ms per batch, or
+        // give up and use single iterations for slow bodies.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = start.elapsed() / (iters.max(1) as u32);
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        self.iters_per_sample = batch;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET || self.samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let per = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
+        let min = self.samples.iter().map(&per).fold(f64::INFINITY, f64::min);
+        let sum: f64 = self.samples.iter().map(&per).sum();
+        let mean = sum / self.samples.len() as f64;
+        println!(
+            "{name:<40} min {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores command-line configuration (upstream parses
+    /// filters and output options here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut b, input);
+        b.report(&id.full);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A named benchmark group; settings are accepted for API compatibility.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (the stub sizes batches by wall-clock budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,183 @@
+//! The `Strategy` trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply draws a fresh value from the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and draws from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample_value(&self, rng: &mut TestRng) -> V {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Boxes a strategy for storage in heterogeneous lists (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample_value(rng)).sample_value(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample_value(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.arms.len() as u64) as usize;
+        self.arms[pick].sample_value(rng)
+    }
+}
+
+/// Element types range strategies can draw; the blanket impls below keep
+/// integer-literal inference flowing from the use site.
+pub trait RangeElement: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn draw_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn draw_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+impl<T: RangeElement> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::draw_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: RangeElement> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::draw_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_range_element {
+    ($($t:ty),* $(,)?) => {$(
+        impl RangeElement for $t {
+            fn draw_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let base = lo as i128;
+                let span = (hi as i128 - base) as u128;
+                (base + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            fn draw_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range strategy");
+                let base = lo as i128;
+                let span = (hi as i128 - base) as u128 + 1;
+                (base + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_element!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);

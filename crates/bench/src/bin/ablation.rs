@@ -37,7 +37,7 @@ fn main() {
         let mut cols = vec![format!("{:>12}", am.cycles), format!("{:>8.1}", am.bandwidth_utilization() * 100.0)];
         for k in &kernels {
             eprintln!("{name}: {}", k.name());
-            let r = k.run(Mode::Dx100, &cfg, 1);
+            let r = k.run(Mode::Dx100, &cfg, args.seed);
             cols.push(format!("{:>12}", r.stats.cycles));
         }
         println!("{:<14} {}", name, cols.join(" "));

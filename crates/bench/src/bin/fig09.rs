@@ -1,10 +1,11 @@
 //! Figure 9: DX100 speedup over the multicore baseline for each workload.
 
-use dx100_bench::{print_geomean, print_table, run_all_with, summarize, BenchArgs};
+use dx100_bench::{print_geomean, print_table, run_figure, summarize, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows = run_all_with(args.scale, false, 1, &args.observability());
+    let fig = run_figure(&args, false);
+    let rows = &fig.rows;
     let mut speeds = Vec::new();
     let table: Vec<(String, Vec<f64>)> = rows
         .iter()
@@ -18,5 +19,5 @@ fn main() {
     println!("\nFigure 9 — DX100 speedup over baseline (paper: geomean 2.6x)");
     print_table(&["speedup"], &table);
     print_geomean("fig09", &speeds);
-    args.emit_artifacts("fig09", &rows);
+    fig.emit(&args, "fig09");
 }

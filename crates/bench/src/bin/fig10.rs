@@ -1,18 +1,19 @@
 //! Figure 10: (a) DRAM bandwidth utilization, (b) row-buffer hit rate,
 //! (c) request-buffer occupancy — baseline vs DX100 per workload.
 
-use dx100_bench::{print_geomean, run_all_with, BenchArgs};
+use dx100_bench::{print_geomean, run_figure, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows = run_all_with(args.scale, false, 1, &args.observability());
+    let fig = run_figure(&args, false);
+    let rows = &fig.rows;
     println!("\nFigure 10 — memory-system metrics (paper: 3.9x BW, 2.7x RBH, 12.1x occupancy)");
     println!(
         "{:<8} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8}",
         "kernel", "bw-b%", "bw-dx%", "rbh-b%", "rbh-dx%", "occ-b", "occ-dx"
     );
     let (mut bwg, mut rbhg, mut occg) = (vec![], vec![], vec![]);
-    for r in &rows {
+    for r in rows {
         let (b, d) = (&r.baseline.stats, &r.dx100.stats);
         println!(
             "{:<8} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>8.3} {:>8.3}",
@@ -37,5 +38,5 @@ fn main() {
     print_geomean("fig10a bandwidth gain", &bwg);
     print_geomean("fig10b row-buffer-hit gain", &rbhg);
     print_geomean("fig10c occupancy gain", &occg);
-    args.emit_artifacts("fig10", &rows);
+    fig.emit(&args, "fig10");
 }

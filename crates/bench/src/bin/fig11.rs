@@ -1,17 +1,18 @@
 //! Figure 11: (a) dynamic instruction reduction, (b) cache MPKI reduction.
 
-use dx100_bench::{print_geomean, run_all_with, BenchArgs};
+use dx100_bench::{print_geomean, run_figure, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows = run_all_with(args.scale, false, 1, &args.observability());
+    let fig = run_figure(&args, false);
+    let rows = &fig.rows;
     println!("\nFigure 11 — core-side effects (paper: 3.6x instruction cut, 6.1x MPKI cut)");
     println!(
         "{:<8} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
         "kernel", "instr-b", "instr-dx", "i-cut", "mpki-b", "mpki-dx", "m-cut"
     );
     let (mut icut, mut mcut) = (vec![], vec![]);
-    for r in &rows {
+    for r in rows {
         let (b, d) = (&r.baseline.stats, &r.dx100.stats);
         let ic = b.instructions as f64 / d.instructions.max(1) as f64;
         let (mb, md) = (b.total_mpki(), d.total_mpki());
@@ -27,5 +28,5 @@ fn main() {
     }
     print_geomean("fig11a instruction reduction", &icut);
     print_geomean("fig11b MPKI reduction", &mcut);
-    args.emit_artifacts("fig11", &rows);
+    fig.emit(&args, "fig11");
 }

@@ -1,17 +1,18 @@
 //! Figure 12: DX100 vs the DMP indirect prefetcher — speedup and bandwidth.
 
-use dx100_bench::{print_geomean, run_all_with, BenchArgs};
+use dx100_bench::{print_geomean, run_figure, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows = run_all_with(args.scale, true, 1, &args.observability());
+    let fig = run_figure(&args, true);
+    let rows = &fig.rows;
     println!("\nFigure 12 — DX100 vs DMP (paper: 2.0x speedup, 3.3x bandwidth)");
     println!(
         "{:<8} {:>12} {:>10} {:>10} {:>10}",
         "kernel", "dx-vs-dmp", "dmp-bw%", "dx-bw%", "dmp-vs-base"
     );
     let (mut sp, mut bw) = (vec![], vec![]);
-    for r in &rows {
+    for r in rows {
         let dmp = r.dmp.as_ref().expect("fig12 runs DMP");
         let s = r.speedup_vs_dmp().unwrap();
         println!(
@@ -29,5 +30,5 @@ fn main() {
     }
     print_geomean("fig12a speedup vs DMP", &sp);
     print_geomean("fig12b bandwidth vs DMP", &bw);
-    args.emit_artifacts("fig12", &rows);
+    fig.emit(&args, "fig12");
 }

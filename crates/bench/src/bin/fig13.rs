@@ -22,7 +22,7 @@ fn main() {
         .iter()
         .map(|k| {
             eprintln!("baseline {}", k.name());
-            k.run(Mode::Baseline, &SystemConfig::paper_baseline(), 1)
+            k.run(Mode::Baseline, &SystemConfig::paper_baseline(), args.seed)
         })
         .collect();
     let mut access_ref: Vec<f64> = Vec::new();
@@ -33,7 +33,7 @@ fn main() {
         let mut rbh = Vec::new();
         for (k, base) in kernels.iter().zip(&baselines) {
             eprintln!("tile {tile} {}", k.name());
-            let dx = k.run(Mode::Dx100, &cfg, 1);
+            let dx = k.run(Mode::Dx100, &cfg, args.seed);
             speeds.push(dx.stats.speedup_over(&base.stats));
             if let Some(d) = &dx.stats.dx100 {
                 accesses.push(

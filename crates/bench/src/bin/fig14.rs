@@ -22,8 +22,8 @@ fn main() {
         let mut speeds = Vec::new();
         for k in &kernels {
             eprintln!("{label}: {}", k.name());
-            let b = k.run(Mode::Baseline, &base_cfg, 1);
-            let d = k.run(Mode::Dx100, &dx_cfg, 1);
+            let b = k.run(Mode::Baseline, &base_cfg, args.seed);
+            let d = k.run(Mode::Dx100, &dx_cfg, args.seed);
             speeds.push(d.stats.speedup_over(&b.stats));
         }
         print_geomean(label, &speeds);

@@ -2,15 +2,16 @@
 //! simulated once per machine; the three figures are different views of
 //! the same measurements).
 
-use dx100_bench::{print_geomean, run_all_with, summarize, BenchArgs};
+use dx100_bench::{print_geomean, run_figure, summarize, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let rows = run_all_with(args.scale, false, 1, &args.observability());
+    let fig = run_figure(&args, false);
+    let rows = &fig.rows;
 
     println!("\n=== Figure 9 — speedup over baseline (paper: geomean 2.6x) ===");
     let mut speeds = Vec::new();
-    for r in &rows {
+    for r in rows {
         println!("{:<8} {:>8.2}x", r.name, r.speedup());
         speeds.push(r.speedup());
     }
@@ -22,7 +23,7 @@ fn main() {
         "kernel", "bw-b%", "bw-dx%", "rbh-b%", "rbh-dx%", "occ-b", "occ-dx"
     );
     let (mut bwg, mut rbhg, mut occg) = (vec![], vec![], vec![]);
-    for r in &rows {
+    for r in rows {
         let (b, d) = (&r.baseline.stats, &r.dx100.stats);
         println!(
             "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.3} {:>8.3}",
@@ -54,7 +55,7 @@ fn main() {
         "kernel", "instr-b", "instr-dx", "i-cut", "mpki-b", "mpki-dx", "m-cut"
     );
     let (mut icut, mut mcut) = (vec![], vec![]);
-    for r in &rows {
+    for r in rows {
         let (b, d) = (&r.baseline.stats, &r.dx100.stats);
         let ic = b.instructions as f64 / d.instructions.max(1) as f64;
         let (mb, md) = (b.total_mpki(), d.total_mpki());
@@ -72,9 +73,9 @@ fn main() {
     print_geomean("fig11b MPKI reduction", &mcut);
 
     println!("\n=== raw rows ===");
-    for r in &rows {
+    for r in rows {
         println!("{}", summarize(&format!("{} base ", r.name), &r.baseline.stats));
         println!("{}", summarize(&format!("{} dx100", r.name), &r.dx100.stats));
     }
-    args.emit_artifacts("main_results", &rows);
+    fig.emit(&args, "main_results");
 }

@@ -1,0 +1,72 @@
+//! CI gate for sampled simulation accuracy.
+//!
+//! Runs the Figure 9 sweep twice at the given `--scale` — once in full
+//! detail and once in `--sample` mode — and exits non-zero if any kernel's
+//! DX100-over-baseline speedup, or the geomean across kernels, deviates
+//! from the full run by more than [`TOLERANCE`] (relative).
+
+use dx100_bench::{run_figure, BenchArgs};
+use dx100_common::stats::geomean;
+
+/// Maximum relative deviation of a sampled speedup from the full-run value.
+const TOLERANCE: f64 = 0.25;
+
+fn rel_dev(sampled: f64, full: f64) -> f64 {
+    (sampled - full).abs() / full.abs().max(1e-12)
+}
+
+fn main() {
+    let mut args = BenchArgs::parse();
+
+    args.sample = false;
+    let full = run_figure(&args, false);
+    args.sample = true;
+    let sampled = run_figure(&args, false);
+
+    assert_eq!(full.rows.len(), sampled.rows.len());
+    let mut failures = 0;
+    let mut full_speeds = Vec::new();
+    let mut sampled_speeds = Vec::new();
+    println!(
+        "\nsample_check: per-kernel speedup, full vs sampled (tolerance {:.0}%)",
+        TOLERANCE * 100.0
+    );
+    for (f, s) in full.rows.iter().zip(&sampled.rows) {
+        assert_eq!(f.name, s.name, "row order must match between sweeps");
+        let (sf, ss) = (f.speedup(), s.speedup());
+        full_speeds.push(sf);
+        sampled_speeds.push(ss);
+        let dev = rel_dev(ss, sf);
+        let ok = dev <= TOLERANCE;
+        println!(
+            "  {:10} full {sf:6.2}x  sampled {ss:6.2}x  dev {:5.1}%  {}",
+            f.name,
+            dev * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    let (gf, gs) = (geomean(&full_speeds), geomean(&sampled_speeds));
+    let gdev = rel_dev(gs, gf);
+    let gok = gdev <= TOLERANCE;
+    println!(
+        "  {:10} full {gf:6.2}x  sampled {gs:6.2}x  dev {:5.1}%  {}",
+        "geomean",
+        gdev * 100.0,
+        if gok { "ok" } else { "FAIL" }
+    );
+    if !gok {
+        failures += 1;
+    }
+    println!(
+        "sample_check: full sweep {:.1}s, sampled sweep {:.1}s ({} threads)",
+        full.total_seconds, sampled.total_seconds, sampled.threads
+    );
+    if failures > 0 {
+        eprintln!("sample_check: {failures} metric(s) outside the {TOLERANCE:.2} tolerance");
+        std::process::exit(1);
+    }
+    println!("sample_check: all speedups within tolerance");
+}

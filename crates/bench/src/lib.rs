@@ -26,6 +26,21 @@
 //! * `--trace <path>` — write a Chrome trace (load in Perfetto / `about:tracing`).
 //! * `--epoch <cycles>` — sample epoch time-series metrics every N cycles
 //!   (included in the `--json` report).
+//!
+//! Sampled-simulation flags (row-based figure binaries):
+//!
+//! * `--sample` — run the checkpointed, sampled pipeline (`dx100-sampling`)
+//!   instead of full cycle-by-cycle simulation: kernels with interval
+//!   decompositions simulate only representative windows; the rest run in
+//!   full, but all of it in parallel across `--threads` workers. The report
+//!   records per-metric sampling-error estimates.
+//! * `--threads <n>` — replay worker threads (default: available cores).
+//! * `--seed <n>` — dataset + sampling RNG seed (default 1); sampled runs
+//!   are bit-reproducible for a given seed regardless of thread count.
+
+pub mod sampled;
+
+pub use sampled::{run_figure, FigureRun, WalltimeEntry};
 
 use std::path::{Path, PathBuf};
 
@@ -75,19 +90,41 @@ pub fn run_kernel_row_with(
     seed: u64,
     obs: &ObservabilityConfig,
 ) -> KernelRow {
+    run_kernel_row_timed(kernel, with_dmp, seed, obs).0
+}
+
+/// [`run_kernel_row_with`] plus per-machine wall-clock seconds
+/// `[baseline, dx100, dmp]` (dmp is 0 when skipped) for walltime reports.
+pub fn run_kernel_row_timed(
+    kernel: &dyn KernelRun,
+    with_dmp: bool,
+    seed: u64,
+    obs: &ObservabilityConfig,
+) -> (KernelRow, [f64; 3]) {
     let with_obs = |mut cfg: SystemConfig| {
         cfg.obs = obs.clone();
         cfg
     };
-    let baseline = kernel.run(Mode::Baseline, &with_obs(SystemConfig::paper_baseline()), seed);
-    let dx100 = kernel.run(Mode::Dx100, &with_obs(SystemConfig::paper_dx100()), seed);
-    let dmp = with_dmp.then(|| kernel.run(Mode::Dmp, &with_obs(SystemConfig::paper_dmp()), seed));
-    KernelRow {
-        name: kernel.name(),
-        baseline,
-        dx100,
-        dmp,
-    }
+    let timed = |mode: Mode, cfg: SystemConfig| {
+        let t = std::time::Instant::now();
+        let r = kernel.run(mode, &cfg, seed);
+        (r, t.elapsed().as_secs_f64())
+    };
+    let (baseline, tb) = timed(Mode::Baseline, with_obs(SystemConfig::paper_baseline()));
+    let (dx100, tx) = timed(Mode::Dx100, with_obs(SystemConfig::paper_dx100()));
+    let (dmp, td) = match with_dmp.then(|| timed(Mode::Dmp, with_obs(SystemConfig::paper_dmp()))) {
+        Some((r, t)) => (Some(r), t),
+        None => (None, 0.0),
+    };
+    (
+        KernelRow {
+            name: kernel.name(),
+            baseline,
+            dx100,
+            dmp,
+        },
+        [tb, tx, td],
+    )
 }
 
 /// Runs all kernels at `scale`, optionally including DMP.
@@ -122,6 +159,17 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Sample epoch metrics every N cycles (`--epoch`).
     pub epoch: Option<u64>,
+    /// Run the sampled-simulation pipeline (`--sample`).
+    pub sample: bool,
+    /// Worker threads for sampled replay (`--threads`).
+    pub threads: usize,
+    /// Dataset + sampling RNG seed (`--seed`).
+    pub seed: u64,
+}
+
+/// Default worker-thread count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Default for BenchArgs {
@@ -131,6 +179,9 @@ impl Default for BenchArgs {
             json: None,
             trace: None,
             epoch: None,
+            sample: false,
+            threads: default_threads(),
+            seed: 1,
         }
     }
 }
@@ -145,7 +196,8 @@ impl BenchArgs {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--scale <factor>] [--json <path>] [--trace <path>] [--epoch <cycles>]"
+                    "usage: [--scale <factor>] [--json <path>] [--trace <path>] [--epoch <cycles>] \
+                     [--sample] [--threads <n>] [--seed <n>]"
                 );
                 std::process::exit(2);
             }
@@ -172,6 +224,21 @@ impl BenchArgs {
                 }
                 "--json" => out.json = Some(PathBuf::from(value("--json")?)),
                 "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+                "--sample" => out.sample = true,
+                "--threads" => {
+                    let v = value("--threads")?;
+                    out.threads = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|t| *t > 0)
+                        .ok_or_else(|| format!("invalid --threads value `{v}`"))?;
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    out.seed = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid --seed value `{v}`"))?;
+                }
                 "--epoch" => {
                     let v = value("--epoch")?;
                     out.epoch = Some(
@@ -372,12 +439,16 @@ mod tests {
     fn parses_all_flags() {
         let args = parse(&[
             "--scale", "0.05", "--json", "r.json", "--trace", "t.json", "--epoch", "5000",
+            "--sample", "--threads", "4", "--seed", "7",
         ])
         .unwrap();
         assert_eq!(args.scale, 0.05);
         assert_eq!(args.json.as_deref(), Some(Path::new("r.json")));
         assert_eq!(args.trace.as_deref(), Some(Path::new("t.json")));
         assert_eq!(args.epoch, Some(5000));
+        assert!(args.sample);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seed, 7);
         let obs = args.observability();
         assert!(obs.trace);
         assert_eq!(obs.epoch_cycles, Some(5000));
@@ -399,6 +470,9 @@ mod tests {
         assert!(parse(&["--epoch", "0"]).is_err());
         assert!(parse(&["--epoch", "soon"]).is_err());
         assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
+        assert!(parse(&["--seed", "-3"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 

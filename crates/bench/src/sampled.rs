@@ -1,0 +1,468 @@
+//! The sampled figure sweep: one entry point that row-based figure
+//! binaries call in place of [`run_all_with`](crate::run_all_with).
+//!
+//! Under `--sample`, every kernel × machine becomes a set of independent
+//! tasks — one per representative window for kernels exposing an interval
+//! decomposition ([`KernelRun::prepare_sampled`]), one full run otherwise —
+//! executed across `--threads` workers by
+//! [`run_parallel`](dx100_sampling::run_parallel). Window results are
+//! weighted back into full-run estimates, and the per-metric sampling
+//! errors land in the `--json` report's `sampling` block. Without
+//! `--sample` the sweep is the usual serial full-fidelity one, but still
+//! timed per run so both modes emit a `<generator>_sim_walltime.json`.
+
+use std::time::Instant;
+
+use dx100_common::json::{obj, Json};
+use dx100_sampling::{self as sampling, SamplePlan, SampledRun, SamplingErrors, WarmCache};
+use dx100_sim::report::SCHEMA_VERSION;
+use dx100_sim::{RunStats, SystemConfig};
+use dx100_workloads::{all_kernels, Mode, Scale, WorkloadResult};
+
+use crate::{report_json, run_kernel_row_timed, trace_json, BenchArgs, KernelRow};
+
+/// Wall-clock seconds spent simulating one kernel × machine.
+#[derive(Debug, Clone)]
+pub struct WalltimeEntry {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Machine configuration label (`baseline` / `dx100` / `dmp`).
+    pub config: &'static str,
+    /// Simulation seconds (summed across this run's windows when sampled).
+    pub seconds: f64,
+    /// Windows simulated, when this run used interval sampling.
+    pub windows: Option<usize>,
+}
+
+/// Per kernel × machine sampling metadata for the report.
+#[derive(Debug, Clone)]
+struct SampleInfo {
+    kernel: &'static str,
+    config: &'static str,
+    windows: usize,
+    total_intervals: usize,
+    errors: SamplingErrors,
+}
+
+/// A figure sweep's measurements: rows for the figure, timing for the
+/// walltime report, and sampling metadata when `--sample` was on.
+pub struct FigureRun {
+    /// One row per kernel, same shape the full-fidelity sweep produces.
+    pub rows: Vec<KernelRow>,
+    /// Per kernel × machine simulation seconds.
+    pub walltime: Vec<WalltimeEntry>,
+    /// End-to-end sweep seconds (includes profiling/cluster/reassembly).
+    pub total_seconds: f64,
+    /// `"full"` or `"sampled"`.
+    pub mode: &'static str,
+    /// Worker threads used (1 for the serial full sweep).
+    pub threads: usize,
+    /// Sampling metadata (`None` for the full sweep).
+    sampling: Option<Vec<SampleInfo>>,
+    scale: f64,
+    seed: u64,
+}
+
+/// Runs the figure's kernel × machine sweep per `args`: serial
+/// full-fidelity by default, the parallel sampled pipeline under
+/// `--sample`.
+pub fn run_figure(args: &BenchArgs, with_dmp: bool) -> FigureRun {
+    if args.sample {
+        if args.trace.is_some() || args.epoch.is_some() {
+            eprintln!("note: --trace/--epoch are ignored under --sample");
+        }
+        run_sampled(args.scale, with_dmp, args.seed, args.threads)
+    } else {
+        run_full(args.scale, with_dmp, args.seed, &args.observability())
+    }
+}
+
+/// The timed serial full-fidelity sweep.
+fn run_full(
+    scale: f64,
+    with_dmp: bool,
+    seed: u64,
+    obs: &dx100_sim::ObservabilityConfig,
+) -> FigureRun {
+    let start = Instant::now();
+    let mut rows = Vec::new();
+    let mut walltime = Vec::new();
+    for k in all_kernels(Scale(scale)) {
+        eprintln!("running {} ...", k.name());
+        let (row, secs) = run_kernel_row_timed(k.as_ref(), with_dmp, seed, obs);
+        for (mode, s) in Mode::ALL.iter().zip(secs) {
+            if *mode == Mode::Dmp && !with_dmp {
+                continue;
+            }
+            walltime.push(WalltimeEntry {
+                kernel: row.name,
+                config: mode.label(),
+                seconds: s,
+                windows: None,
+            });
+        }
+        rows.push(row);
+    }
+    FigureRun {
+        rows,
+        walltime,
+        total_seconds: start.elapsed().as_secs_f64(),
+        mode: "full",
+        threads: 1,
+        sampling: None,
+        scale,
+        seed,
+    }
+}
+
+/// The modes a sweep runs, with their machine configurations.
+fn sweep_modes(with_dmp: bool) -> Vec<(Mode, SystemConfig)> {
+    let mut m = vec![
+        (Mode::Baseline, SystemConfig::paper_baseline()),
+        (Mode::Dx100, SystemConfig::paper_dx100()),
+    ];
+    if with_dmp {
+        m.push((Mode::Dmp, SystemConfig::paper_dmp()));
+    }
+    m
+}
+
+/// One kernel × machine of the sampled sweep, after planning.
+struct Prep {
+    kernel: usize,
+    mode: Mode,
+    /// `Some` when the kernel exposes an interval decomposition. The
+    /// [`WarmCache`] shares warmed checkpoints across this run's windows.
+    windowed: Option<(SampledRun, SamplePlan, WarmCache)>,
+}
+
+/// One task's output: a window's ROI stats or a full run, plus seconds.
+enum Out {
+    Window(RunStats, f64),
+    Full(WorkloadResult, f64),
+}
+
+/// The parallel sampled sweep.
+fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureRun {
+    let start = Instant::now();
+    let kernels = all_kernels(Scale(scale));
+    let modes = sweep_modes(with_dmp);
+
+    // Profile + cluster + select (cheap, serial, deterministic in seed).
+    let mut preps = Vec::new();
+    for (ki, k) in kernels.iter().enumerate() {
+        for (mode, cfg) in &modes {
+            let windowed = k.prepare_sampled(*mode, cfg, seed).map(|run| {
+                let plan =
+                    sampling::plan(&run, seed, &format!("{}/{}", k.name(), mode.label()));
+                (run, plan, WarmCache::default())
+            });
+            preps.push(Prep {
+                kernel: ki,
+                mode: *mode,
+                windowed,
+            });
+        }
+    }
+    let windowed_runs = preps.iter().filter(|p| p.windowed.is_some()).count();
+    eprintln!(
+        "sampled sweep: {} kernel-machine runs ({} windowed), {} threads",
+        preps.len(),
+        windowed_runs,
+        threads
+    );
+
+    // One task per window (windowed) or per run (fallback); results come
+    // back in task order, so the reassembly below is thread-count
+    // independent.
+    let mut keys: Vec<usize> = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() -> Out + Send + '_>> = Vec::new();
+    for (pi, p) in preps.iter().enumerate() {
+        match &p.windowed {
+            Some((run, plan, warm)) => {
+                for w in &plan.windows {
+                    let w = *w;
+                    keys.push(pi);
+                    tasks.push(Box::new(move || {
+                        let t = Instant::now();
+                        let stats = sampling::replay_window(run, w, warm);
+                        Out::Window(stats, t.elapsed().as_secs_f64())
+                    }));
+                }
+            }
+            None => {
+                let kernel = &kernels[p.kernel];
+                let (mode, cfg) = (p.mode, &modes.iter().find(|(m, _)| *m == p.mode).unwrap().1);
+                keys.push(pi);
+                tasks.push(Box::new(move || {
+                    let t = Instant::now();
+                    let r = kernel.run(mode, cfg, seed);
+                    Out::Full(r, t.elapsed().as_secs_f64())
+                }));
+            }
+        }
+    }
+    let results = sampling::run_parallel(tasks, threads);
+
+    // Reassemble per kernel × machine.
+    let mut outs: Vec<Vec<Out>> = preps.iter().map(|_| Vec::new()).collect();
+    for (key, out) in keys.into_iter().zip(results) {
+        outs[key].push(out);
+    }
+    let mut walltime = Vec::new();
+    let mut infos = Vec::new();
+    let mut by_kernel: Vec<Vec<(Mode, WorkloadResult)>> =
+        kernels.iter().map(|_| Vec::new()).collect();
+    for (p, outs) in preps.iter().zip(outs) {
+        let name = kernels[p.kernel].name();
+        let result = match &p.windowed {
+            Some((run, plan, _)) => {
+                let mut stats = Vec::with_capacity(outs.len());
+                let mut secs = 0.0;
+                for o in outs {
+                    match o {
+                        Out::Window(s, t) => {
+                            stats.push(s);
+                            secs += t;
+                        }
+                        Out::Full(..) => unreachable!("windowed prep got a full-run result"),
+                    }
+                }
+                let rec = sampling::reconstitute(plan, &stats);
+                walltime.push(WalltimeEntry {
+                    kernel: name,
+                    config: p.mode.label(),
+                    seconds: secs,
+                    windows: Some(rec.windows),
+                });
+                infos.push(SampleInfo {
+                    kernel: name,
+                    config: p.mode.label(),
+                    windows: rec.windows,
+                    total_intervals: rec.total_intervals,
+                    errors: rec.errors,
+                });
+                WorkloadResult {
+                    stats: rec.stats,
+                    checksum: run.checksum,
+                }
+            }
+            None => {
+                let mut it = outs.into_iter();
+                let (r, secs) = match it.next() {
+                    Some(Out::Full(r, t)) => (r, t),
+                    _ => unreachable!("fallback prep must produce exactly one full run"),
+                };
+                walltime.push(WalltimeEntry {
+                    kernel: name,
+                    config: p.mode.label(),
+                    seconds: secs,
+                    windows: None,
+                });
+                r
+            }
+        };
+        by_kernel[p.kernel].push((p.mode, result));
+    }
+
+    let rows = kernels
+        .iter()
+        .zip(by_kernel)
+        .map(|(k, mut results)| {
+            let mut take = |mode: Mode| {
+                let i = results.iter().position(|(m, _)| *m == mode);
+                i.map(|i| results.swap_remove(i).1)
+            };
+            KernelRow {
+                name: k.name(),
+                baseline: take(Mode::Baseline).expect("baseline always runs"),
+                dx100: take(Mode::Dx100).expect("dx100 always runs"),
+                dmp: take(Mode::Dmp),
+            }
+        })
+        .collect();
+
+    FigureRun {
+        rows,
+        walltime,
+        total_seconds: start.elapsed().as_secs_f64(),
+        mode: "sampled",
+        threads,
+        sampling: Some(infos),
+        scale,
+        seed,
+    }
+}
+
+impl FigureRun {
+    /// The `sampling` block of the `--json` report (`Json::Null` for full
+    /// sweeps).
+    pub fn sampling_json(&self) -> Json {
+        match &self.sampling {
+            None => Json::Null,
+            Some(infos) => obj([
+                ("threads", self.threads.into()),
+                ("seed", self.seed.into()),
+                (
+                    "runs",
+                    Json::Arr(
+                        infos
+                            .iter()
+                            .map(|i| {
+                                obj([
+                                    ("kernel", i.kernel.into()),
+                                    ("config", i.config.into()),
+                                    ("windows", i.windows.into()),
+                                    ("total_intervals", i.total_intervals.into()),
+                                    (
+                                        "errors",
+                                        obj([
+                                            ("cycles", i.errors.cycles.into()),
+                                            (
+                                                "row_buffer_hit_rate",
+                                                i.errors.row_buffer_hit_rate.into(),
+                                            ),
+                                            ("llc_mpki", i.errors.llc_mpki.into()),
+                                        ]),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// The walltime report (`<generator>_sim_walltime.json` contents).
+    pub fn walltime_json(&self, generator: &str) -> Json {
+        obj([
+            ("schema_version", SCHEMA_VERSION.into()),
+            ("generator", generator.into()),
+            ("mode", self.mode.into()),
+            ("scale", self.scale.into()),
+            ("threads", self.threads.into()),
+            (
+                "entries",
+                Json::Arr(
+                    self.walltime
+                        .iter()
+                        .map(|e| {
+                            obj([
+                                ("kernel", e.kernel.into()),
+                                ("config", e.config.into()),
+                                ("seconds", e.seconds.into()),
+                                (
+                                    "windows",
+                                    match e.windows {
+                                        Some(w) => w.into(),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total_seconds", self.total_seconds.into()),
+        ])
+    }
+
+    /// The full `--json` report: [`report_json`] plus `mode` and
+    /// `sampling` fields.
+    pub fn report_json(&self, generator: &str) -> Json {
+        let base = report_json(generator, self.scale, &self.rows);
+        match base {
+            Json::Obj(mut fields) => {
+                fields.push(("mode".into(), self.mode.into()));
+                fields.push(("sampling".into(), self.sampling_json()));
+                Json::Obj(fields)
+            }
+            other => other,
+        }
+    }
+
+    /// Writes the figure's artifacts: the `--json` report and `--trace`
+    /// file when requested, and `<generator>_sim_walltime.json` always.
+    pub fn emit(&self, args: &BenchArgs, generator: &str) {
+        if let Some(path) = &args.json {
+            crate::write_or_die(path, &(self.report_json(generator).to_string() + "\n"));
+            eprintln!("wrote report to {}", path.display());
+        }
+        if let Some(path) = &args.trace {
+            crate::write_or_die(path, &trace_json(&self.rows));
+            eprintln!("wrote trace to {} (open in Perfetto)", path.display());
+        }
+        let wt = std::path::PathBuf::from(format!("{generator}_sim_walltime.json"));
+        crate::write_or_die(&wt, &(self.walltime_json(generator).to_string() + "\n"));
+        eprintln!(
+            "wrote walltime report to {} ({:.1}s total, {} mode)",
+            wt.display(),
+            self.total_seconds,
+            self.mode
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(scale: f64, sample: bool) -> BenchArgs {
+        BenchArgs {
+            scale,
+            sample,
+            threads: 2,
+            ..BenchArgs::default()
+        }
+    }
+
+    #[test]
+    fn sampled_sweep_matches_full_sweep_shape() {
+        // Smoke scale: every kernel at minimum size.
+        let full = run_figure(&args(1e-9, false), false);
+        let sampled = run_figure(&args(1e-9, true), false);
+        assert_eq!(full.rows.len(), sampled.rows.len());
+        for (f, s) in full.rows.iter().zip(&sampled.rows) {
+            assert_eq!(f.name, s.name);
+            assert!(s.baseline.stats.cycles > 0, "{}", s.name);
+            assert!(s.dx100.stats.cycles > 0, "{}", s.name);
+            assert_eq!(f.baseline.checksum, s.baseline.checksum, "{}", s.name);
+        }
+        assert_eq!(full.mode, "full");
+        assert_eq!(sampled.mode, "sampled");
+        assert!(sampled.sampling.is_some());
+        // is + pr expose windowed decompositions in every machine config.
+        let infos = sampled.sampling.as_ref().unwrap();
+        assert!(infos.iter().any(|i| i.kernel == "is"));
+        assert!(infos.iter().any(|i| i.kernel == "pr"));
+        assert_eq!(full.walltime.len(), sampled.walltime.len());
+    }
+
+    #[test]
+    fn sampled_sweep_is_thread_count_independent() {
+        let mut a1 = args(1e-9, true);
+        a1.threads = 1;
+        let mut a4 = args(1e-9, true);
+        a4.threads = 4;
+        let r1 = run_figure(&a1, false);
+        let r4 = run_figure(&a4, false);
+        for (x, y) in r1.rows.iter().zip(&r4.rows) {
+            assert_eq!(x.baseline.stats.cycles, y.baseline.stats.cycles, "{}", x.name);
+            assert_eq!(x.dx100.stats.cycles, y.dx100.stats.cycles, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn walltime_and_sampling_reports_have_stable_shape() {
+        let fig = run_figure(&args(1e-9, true), false);
+        let wt = Json::parse(&fig.walltime_json("fig09").to_string()).unwrap();
+        assert_eq!(wt.get("mode").and_then(Json::as_str), Some("sampled"));
+        assert!(wt.get("entries").and_then(Json::as_arr).is_some());
+        assert!(wt.get("total_seconds").and_then(Json::as_f64).is_some());
+        let rep = Json::parse(&fig.report_json("fig09").to_string()).unwrap();
+        assert_eq!(rep.get("mode").and_then(Json::as_str), Some("sampled"));
+        let sampling = rep.get("sampling").unwrap();
+        assert!(sampling.get("runs").and_then(Json::as_arr).is_some());
+    }
+}

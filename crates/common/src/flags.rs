@@ -21,7 +21,7 @@ pub struct FlagId(pub usize);
 /// board.set(f);
 /// assert!(board.get(f));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FlagBoard {
     flags: Vec<bool>,
 }

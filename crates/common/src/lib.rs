@@ -22,6 +22,7 @@
 //! assert_eq!(value::to_f32(sum), 3.75);
 //! ```
 
+pub mod checkpoint;
 pub mod flags;
 pub mod json;
 pub mod queue;
@@ -30,6 +31,7 @@ pub mod trace;
 pub mod types;
 pub mod value;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use queue::DelayQueue;
 pub use trace::{SpanTracker, TraceBuffer, TraceHandle};
 pub use types::{

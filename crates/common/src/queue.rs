@@ -12,6 +12,7 @@ use crate::types::Cycle;
 
 /// Heap entry: ordered by ready cycle, then by insertion sequence so that
 /// same-cycle messages pop in FIFO order.
+#[derive(Clone)]
 struct Entry<T> {
     ready_at: Cycle,
     seq: u64,
@@ -50,6 +51,7 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop_ready(5), None);
 /// assert_eq!(q.pop_ready(100), Some("a"));
 /// ```
+#[derive(Clone)]
 pub struct DelayQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,

@@ -56,6 +56,21 @@ impl RunningAverage {
         self.sum += other.sum;
         self.count += other.count;
     }
+
+    /// Reassembles an average from its `(sum, count)` parts — the inverse of
+    /// [`sum`](Self::sum)/[`count`](Self::count), used when reconstituting
+    /// weighted statistics from sampled intervals.
+    pub fn from_parts(sum: f64, count: u64) -> Self {
+        RunningAverage { sum, count }
+    }
+
+    /// Folds `other` in with every sample weighted by `factor` (fractional
+    /// counts are rounded). Scaling both sum and count leaves the mean
+    /// intact while giving the interval `factor`× its measured weight.
+    pub fn merge_scaled(&mut self, other: &RunningAverage, factor: f64) {
+        self.sum += other.sum * factor;
+        self.count += (other.count as f64 * factor).round() as u64;
+    }
 }
 
 /// A hit/miss (or success/failure) ratio counter.
@@ -123,6 +138,18 @@ impl Ratio {
         self.misses += other.misses;
     }
 
+    /// Reassembles a counter from explicit hit/miss counts (weighted
+    /// reconstitution of sampled intervals).
+    pub fn from_parts(hits: u64, misses: u64) -> Self {
+        Ratio { hits, misses }
+    }
+
+    /// Folds `other` in with both counts scaled by `factor` (rounded).
+    pub fn merge_scaled(&mut self, other: &Ratio, factor: f64) {
+        self.hits += (other.hits as f64 * factor).round() as u64;
+        self.misses += (other.misses as f64 * factor).round() as u64;
+    }
+
     /// Hit rate in `[0, 1]`; 0 if no events were recorded.
     pub fn rate(&self) -> f64 {
         if self.total() == 0 {
@@ -154,6 +181,69 @@ pub fn mean(values: &[f64]) -> f64 {
         return 0.0;
     }
     values.iter().sum::<f64>() / values.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// Cumulative-counter interval diffing.
+//
+// Both the epoch time-series sampler (`dx100-sim::epoch`) and the sampled-
+// simulation interval profiler (`dx100-sampling`) measure *intervals* by
+// snapshotting monotonically growing cumulative counters at boundaries and
+// diffing consecutive snapshots. The arithmetic lives here so the two
+// agree exactly on edge cases (empty intervals, counter resets).
+// ---------------------------------------------------------------------------
+
+/// Interval delta of a cumulative counter. Saturates at zero so a counter
+/// reset inside the interval (e.g. an ROI boundary) yields an empty delta
+/// instead of wrapping.
+#[inline]
+pub fn interval_delta(cur: u64, prev: u64) -> u64 {
+    cur.saturating_sub(prev)
+}
+
+/// Interval hit rate from cumulative hit/miss counters: the rate over just
+/// the events that occurred inside the interval, or 0 if there were none.
+pub fn interval_rate(hits: (u64, u64), misses: (u64, u64)) -> f64 {
+    let h = interval_delta(hits.0, hits.1);
+    let m = interval_delta(misses.0, misses.1);
+    if h + m == 0 {
+        0.0
+    } else {
+        h as f64 / (h + m) as f64
+    }
+}
+
+/// Interval ratio of two cumulative counters (e.g. busy ticks / total
+/// ticks), or 0 when the denominator did not advance.
+pub fn interval_ratio(num: (u64, u64), den: (u64, u64)) -> f64 {
+    let d = interval_delta(den.0, den.1);
+    if d == 0 {
+        0.0
+    } else {
+        interval_delta(num.0, num.1) as f64 / d as f64
+    }
+}
+
+/// Interval mean of a cumulative [`RunningAverage`]'s `(sum, count)` pair:
+/// the mean of just the samples recorded inside the interval.
+pub fn interval_mean(sum: (f64, f64), count: (u64, u64)) -> f64 {
+    let c = interval_delta(count.0, count.1);
+    if c == 0 {
+        0.0
+    } else {
+        (sum.0 - sum.1).max(0.0) / c as f64
+    }
+}
+
+/// Interval events-per-kilo-instruction from cumulative event and
+/// instruction counters (the MPKI shape).
+pub fn interval_per_kilo(events: (u64, u64), instructions: (u64, u64)) -> f64 {
+    let i = interval_delta(instructions.0, instructions.1);
+    if i == 0 {
+        0.0
+    } else {
+        interval_delta(events.0, events.1) as f64 * 1000.0 / i as f64
+    }
 }
 
 #[cfg(test)]

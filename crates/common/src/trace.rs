@@ -22,8 +22,7 @@
 //! | `dx100` | `fill`, `issue`, `drain` tile-phase activity per engine | span |
 //! | `stall` | `rob_full`, `lq_full`, `sq_full`, `fence` per core | span |
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::Cycle;
 
@@ -43,7 +42,7 @@ pub enum EventKind {
 }
 
 /// One recorded event, timestamped in CPU cycles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Event name shown in the viewer (e.g. `RD b3`).
     pub name: String,
@@ -120,7 +119,7 @@ impl TraceBuffer {
 /// A cheap, cloneable recorder bound to one track of a shared buffer.
 #[derive(Debug, Clone)]
 pub struct TraceHandle {
-    buf: Rc<RefCell<TraceBuffer>>,
+    buf: Arc<Mutex<TraceBuffer>>,
     ts_scale: u64,
     track: TrackId,
 }
@@ -131,7 +130,7 @@ impl TraceHandle {
         let mut buf = TraceBuffer::new(capacity);
         let track = buf.add_track("sim".to_string());
         TraceHandle {
-            buf: Rc::new(RefCell::new(buf)),
+            buf: Arc::new(Mutex::new(buf)),
             ts_scale: 1,
             track,
         }
@@ -139,9 +138,9 @@ impl TraceHandle {
 
     /// A handle recording onto a newly registered track, same scale.
     pub fn track(&self, name: impl Into<String>) -> TraceHandle {
-        let track = self.buf.borrow_mut().add_track(name.into());
+        let track = self.buf.lock().unwrap().add_track(name.into());
         TraceHandle {
-            buf: Rc::clone(&self.buf),
+            buf: Arc::clone(&self.buf),
             ts_scale: self.ts_scale,
             track,
         }
@@ -151,7 +150,7 @@ impl TraceHandle {
     /// components whose local clock runs slower than the CPU clock.
     pub fn scaled(&self, factor: u64) -> TraceHandle {
         TraceHandle {
-            buf: Rc::clone(&self.buf),
+            buf: Arc::clone(&self.buf),
             ts_scale: self.ts_scale * factor.max(1),
             track: self.track,
         }
@@ -159,7 +158,7 @@ impl TraceHandle {
 
     /// Records a point event at component-local time `ts`.
     pub fn instant(&self, cat: &'static str, name: impl Into<String>, ts: Cycle) {
-        self.buf.borrow_mut().push(TraceEvent {
+        self.buf.lock().unwrap().push(TraceEvent {
             name: name.into(),
             cat,
             ts: ts * self.ts_scale,
@@ -172,7 +171,7 @@ impl TraceHandle {
     pub fn span(&self, cat: &'static str, name: impl Into<String>, start: Cycle, end: Cycle) {
         let start_scaled = start * self.ts_scale;
         let end_scaled = end.max(start) * self.ts_scale;
-        self.buf.borrow_mut().push(TraceEvent {
+        self.buf.lock().unwrap().push(TraceEvent {
             name: name.into(),
             cat,
             ts: start_scaled,
@@ -185,7 +184,7 @@ impl TraceHandle {
 
     /// Clones the collected buffer out (for attaching to run statistics).
     pub fn snapshot(&self) -> TraceBuffer {
-        self.buf.borrow().clone()
+        self.buf.lock().unwrap().clone()
     }
 }
 

@@ -10,7 +10,7 @@ use crate::functional::ExecError;
 use crate::isa::{Instruction, TileId};
 use crate::scratchpad::Scratchpad;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct AluJob {
     d: DispatchedInstr,
     next: usize,
@@ -18,7 +18,7 @@ struct AluJob {
 }
 
 /// The timed ALU unit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AluUnit {
     queue: VecDeque<AluJob>,
     lanes: usize,

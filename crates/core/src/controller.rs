@@ -57,7 +57,7 @@ pub fn unit_of(instr: &Instruction) -> Unit {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Inflight {
     handle: u64,
     sources: Vec<TileId>,
@@ -66,7 +66,7 @@ struct Inflight {
 }
 
 /// The dispatch queue and scoreboard.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Controller {
     queue: VecDeque<DispatchedInstr>,
     inflight: Vec<Inflight>,

@@ -42,7 +42,7 @@ pub enum UnitTag {
 }
 
 /// Request-id allocator + response router shared by the units.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct IdAlloc {
     next: ReqId,
     routes: HashMap<ReqId, UnitTag>,
@@ -74,7 +74,7 @@ impl IdAlloc {
 }
 
 /// The timed DX100 accelerator instance.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Dx100Engine {
     cfg: Dx100Config,
     spd: Scratchpad,
@@ -106,6 +106,18 @@ pub struct Dx100Engine {
 /// snoop (`fill`), coalesced line issue (`issue`), response write-back
 /// (`drain`).
 const PHASE_NAMES: [&str; 3] = ["fill", "issue", "drain"];
+
+impl dx100_common::Checkpoint for Dx100Engine {
+    type State = Dx100Engine;
+
+    fn save(&self) -> Result<Self::State, dx100_common::CheckpointError> {
+        Ok(self.clone())
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        *self = state.clone();
+    }
+}
 
 impl Dx100Engine {
     /// Builds an engine whose Row Table mirrors `dram`'s bank geometry.

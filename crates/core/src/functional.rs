@@ -65,7 +65,7 @@ impl From<IllegalInstruction> for ExecError {
 
 /// The functional DX100: a scratchpad and register file executing
 /// instructions synchronously.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FunctionalDx100 {
     config: Dx100Config,
     spd: Scratchpad,

@@ -50,7 +50,7 @@ struct Word {
 }
 
 /// A column entry: one cache line plus its linked word list.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ColEntry {
     /// Unique id, assigned in creation order.
     id: u64,
@@ -64,21 +64,21 @@ struct ColEntry {
 }
 
 /// A row entry: one DRAM row within a slice.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct RowEntry {
     row: u64,
     cols: Vec<ColEntry>,
 }
 
 /// One Row Table slice (one DRAM bank).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Slice {
     rows: Vec<RowEntry>,
     /// The row currently being drained, so its columns issue consecutively.
     active_row: Option<u64>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct IndirectJob {
     d: DispatchedInstr,
     kind: IndKind,
@@ -109,7 +109,7 @@ impl IndirectJob {
 }
 
 /// The timed Indirect Access unit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct IndirectUnit {
     cfg: Dx100Config,
     org: Organization,

@@ -59,7 +59,7 @@ impl ArrayHandle {
 ///
 /// Addresses start above zero and arrays are page-aligned, mimicking the
 /// paper's huge-page-backed data regions.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MemoryImage {
     data: Vec<u8>,
     next_base: Addr,

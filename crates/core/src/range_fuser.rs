@@ -9,7 +9,7 @@ use crate::functional::ExecError;
 use crate::isa::Instruction;
 use crate::scratchpad::Scratchpad;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct RangeJob {
     d: DispatchedInstr,
     /// Current outer index.
@@ -22,7 +22,7 @@ struct RangeJob {
 }
 
 /// The timed Range Fuser unit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RangeFuser {
     queue: VecDeque<RangeJob>,
     rate: usize,

@@ -70,7 +70,7 @@ impl Tile {
 }
 
 /// The scratchpad: a fixed set of tiles.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Scratchpad {
     tiles: Vec<Tile>,
     capacity: usize,

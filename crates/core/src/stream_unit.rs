@@ -17,13 +17,13 @@ use crate::ports::MemPorts;
 use crate::scratchpad::Scratchpad;
 use crate::stats::Dx100Stats;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct LineReq {
     elems: Vec<(usize, Addr)>,
     is_write: bool,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct StreamJob {
     d: DispatchedInstr,
     next: usize,
@@ -65,7 +65,7 @@ impl StreamJob {
 }
 
 /// The timed Stream Access unit.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct StreamUnit {
     rate: usize,
     table_cap: usize,

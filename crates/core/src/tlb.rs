@@ -13,7 +13,7 @@ use dx100_common::Addr;
 const PAGE_SHIFT: u32 = 21;
 
 /// The accelerator's TLB, FIFO-replaced.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Tlb {
     entries: HashSet<u64>,
     order: VecDeque<u64>,

@@ -102,6 +102,61 @@ struct WaitState {
     next_poll_at: Cycle,
 }
 
+/// A [`Core`]'s saved execution state (see [`Checkpoint`]).
+///
+/// Mirrors every field of [`Core`] except the configuration (the restore
+/// target must be built with an equivalent one) and the trace sink (the
+/// restore target keeps its own). The op stream is captured through
+/// [`OpStream::try_clone`] when possible; system-owned channel streams are
+/// saved by the system instead and `stream` stays `None`.
+pub struct CoreState {
+    stream: Option<Box<dyn OpStream + Send + Sync>>,
+    stream_done: bool,
+    peeked: Option<CoreOp>,
+    rob: VecDeque<Entry>,
+    head_seq: u64,
+    next_seq: u64,
+    lq_used: usize,
+    sq_used: usize,
+    waiters: HashMap<u64, Vec<u64>>,
+    ready_mem: VecDeque<u64>,
+    internal_done: DelayQueue<u64>,
+    waiting_flag: Option<WaitState>,
+    atomic_pending: bool,
+    mem_inflight: usize,
+    mmio_signals: Vec<u32>,
+    stats: CoreStats,
+    stall_spans: [SpanTracker; 4],
+    prev_stalls: [u64; 4],
+}
+
+impl std::fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreState")
+            .field("rob_occupancy", &self.rob.len())
+            .field("head_seq", &self.head_seq)
+            .field("stream_done", &self.stream_done)
+            .field("stream_captured", &self.stream.is_some())
+            .finish()
+    }
+}
+
+impl dx100_common::Checkpoint for Core {
+    type State = CoreState;
+
+    /// Fails with [`CheckpointError::UnclonableStream`] when the core's op
+    /// stream does not support cloning and is not yet exhausted; use
+    /// [`Core::save_state`] with `capture_stream = false` if the caller
+    /// checkpoints the stream itself.
+    fn save(&self) -> Result<CoreState, dx100_common::CheckpointError> {
+        self.save_state(true)
+    }
+
+    fn restore(&mut self, state: &CoreState) {
+        self.restore_state(state);
+    }
+}
+
 impl std::fmt::Debug for Core {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Core")
@@ -159,6 +214,74 @@ impl Core {
     /// This core's identifier.
     pub fn id(&self) -> CoreId {
         self.id
+    }
+
+    /// Captures this core's execution state. With `capture_stream`, the op
+    /// stream is deep-copied via [`OpStream::try_clone`] — an error if it
+    /// does not support that while ops remain; without it, the stream is the
+    /// caller's responsibility (the system checkpoints its channels
+    /// directly) and the restore target keeps its current stream object.
+    pub fn save_state(
+        &self,
+        capture_stream: bool,
+    ) -> Result<CoreState, dx100_common::CheckpointError> {
+        let stream = if capture_stream {
+            match self.stream.try_clone() {
+                Some(s) => Some(s),
+                None if self.stream_done => None,
+                None => return Err(dx100_common::CheckpointError::UnclonableStream),
+            }
+        } else {
+            None
+        };
+        Ok(CoreState {
+            stream,
+            stream_done: self.stream_done,
+            peeked: self.peeked,
+            rob: self.rob.clone(),
+            head_seq: self.head_seq,
+            next_seq: self.next_seq,
+            lq_used: self.lq_used,
+            sq_used: self.sq_used,
+            waiters: self.waiters.clone(),
+            ready_mem: self.ready_mem.clone(),
+            internal_done: self.internal_done.clone(),
+            waiting_flag: self.waiting_flag,
+            atomic_pending: self.atomic_pending,
+            mem_inflight: self.mem_inflight,
+            mmio_signals: self.mmio_signals.clone(),
+            stats: self.stats.clone(),
+            stall_spans: self.stall_spans,
+            prev_stalls: self.prev_stalls,
+        })
+    }
+
+    /// Restores a state saved by [`Core::save_state`]. When the state
+    /// captured a stream, a fresh copy of it replaces the current one;
+    /// otherwise the current stream object is kept (re-attached channel).
+    pub fn restore_state(&mut self, s: &CoreState) {
+        if let Some(stream) = &s.stream {
+            self.stream = stream
+                .try_clone()
+                .expect("a captured stream must stay cloneable");
+        }
+        self.stream_done = s.stream_done;
+        self.peeked = s.peeked;
+        self.rob = s.rob.clone();
+        self.head_seq = s.head_seq;
+        self.next_seq = s.next_seq;
+        self.lq_used = s.lq_used;
+        self.sq_used = s.sq_used;
+        self.waiters = s.waiters.clone();
+        self.ready_mem = s.ready_mem.clone();
+        self.internal_done = s.internal_done.clone();
+        self.waiting_flag = s.waiting_flag;
+        self.atomic_pending = s.atomic_pending;
+        self.mem_inflight = s.mem_inflight;
+        self.mmio_signals = s.mmio_signals.clone();
+        self.stats = s.stats.clone();
+        self.stall_spans = s.stall_spans;
+        self.prev_stalls = s.prev_stalls;
     }
 
     /// Replaces the op stream (used when a workload phase hands a core a new

@@ -40,7 +40,7 @@ pub mod core;
 pub mod op;
 pub mod stats;
 
-pub use crate::core::{Core, MemIssue, MemKind};
+pub use crate::core::{Core, CoreState, MemIssue, MemKind};
 pub use config::CoreConfig;
-pub use op::{CoreOp, OpStream, VecStream};
+pub use op::{CoreOp, EmptyStream, OpStream, VecStream};
 pub use stats::CoreStats;

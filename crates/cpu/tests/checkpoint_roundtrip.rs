@@ -1,0 +1,143 @@
+//! Property tests for [`Core`] checkpoint round-trips.
+//!
+//! Three contracts, over random programs, memory latencies, and checkpoint
+//! cycles:
+//!   1. Saving a checkpoint mid-run must not perturb the run (the
+//!      interrupted run finishes with the same cycle count and statistics
+//!      as an uninterrupted reference).
+//!   2. Restoring the checkpoint into a fresh core and resuming must
+//!      reproduce the reference's final cycle count and statistics.
+//!   3. Restore is deterministic: two cores restored from the same state
+//!      emit identical statistics and identical trace events.
+
+use dx100_common::flags::FlagBoard;
+use dx100_common::{Checkpoint, Cycle, TraceHandle};
+use dx100_cpu::{Core, CoreConfig, CoreOp, VecStream};
+use proptest::prelude::*;
+
+const MAX_CYCLES: Cycle = 500_000;
+
+/// Deterministic fake memory: every issue completes `latency` cycles after
+/// acceptance. Cloneable so checkpoints can capture in-flight requests.
+#[derive(Clone)]
+struct SimpleMem {
+    latency: Cycle,
+    in_flight: Vec<(Cycle, u64)>,
+}
+
+impl SimpleMem {
+    fn new(latency: Cycle) -> Self {
+        SimpleMem { latency, in_flight: Vec::new() }
+    }
+}
+
+/// Advances one cycle: deliver ready completions (in issue order), then tick.
+fn step(core: &mut Core, mem: &mut SimpleMem, flags: &mut FlagBoard, now: Cycle) {
+    let mut i = 0;
+    while i < mem.in_flight.len() {
+        if mem.in_flight[i].0 <= now {
+            let (_, seq) = mem.in_flight.remove(i);
+            core.mem_complete(seq, now);
+        } else {
+            i += 1;
+        }
+    }
+    let latency = mem.latency;
+    let in_flight = &mut mem.in_flight;
+    core.tick(now, flags, &mut |iss| in_flight.push((now + latency, iss.seq)));
+}
+
+/// Runs from cycle `start` until the core retires its last op; returns the
+/// finish cycle.
+fn run_from(core: &mut Core, mem: &mut SimpleMem, start: Cycle) -> Cycle {
+    let mut flags = FlagBoard::new();
+    for now in start..start + MAX_CYCLES {
+        step(core, mem, &mut flags, now);
+        if core.is_done() && mem.in_flight.is_empty() {
+            return now;
+        }
+    }
+    panic!("core did not finish within {MAX_CYCLES} cycles");
+}
+
+fn op_strategy() -> impl Strategy<Value = CoreOp> {
+    prop_oneof![
+        (0u64..64, 0u16..3).prop_map(|(a, d)| dep(CoreOp::load(a * 64, 1), d)),
+        (0u64..64, 0u16..3).prop_map(|(a, d)| dep(CoreOp::store(a * 64, 2), d)),
+        (0u16..3).prop_map(|d| dep(CoreOp::alu(), d)),
+        (0u64..16).prop_map(|a| CoreOp::atomic(a * 64, 0)),
+    ]
+}
+
+fn dep(op: CoreOp, d: u16) -> CoreOp {
+    if d == 0 {
+        op
+    } else {
+        op.with_dep(d)
+    }
+}
+
+/// A restored clone of `state` with its own trace sink attached.
+fn restored(cfg: &CoreConfig, state: &<Core as Checkpoint>::State) -> (Core, TraceHandle) {
+    let mut core = Core::new(0, cfg.clone(), Box::new(VecStream::new(Vec::new())));
+    let root = TraceHandle::root(4096);
+    core.set_trace(root.track("core0"));
+    core.restore(state);
+    (core, root)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mid_run_checkpoint_resumes_identically(
+        ops in proptest::collection::vec(op_strategy(), 1..48),
+        latency in 1u64..80,
+        frac_pct in 0u64..100,
+    ) {
+        let cfg = CoreConfig::paper();
+
+        // Uninterrupted reference run.
+        let mut reference = Core::new(0, cfg.clone(), Box::new(VecStream::new(ops.clone())));
+        let mut ref_mem = SimpleMem::new(latency);
+        let total = run_from(&mut reference, &mut ref_mem, 0);
+        let ref_stats = format!("{:?}", reference.stats());
+
+        // Interrupted run: step to cycle k, checkpoint, keep going.
+        let k = total * frac_pct / 100;
+        let mut core_a = Core::new(0, cfg.clone(), Box::new(VecStream::new(ops.clone())));
+        let mut mem_a = SimpleMem::new(latency);
+        let mut flags = FlagBoard::new();
+        for now in 0..k {
+            step(&mut core_a, &mut mem_a, &mut flags, now);
+        }
+        let state = core_a.save().expect("VecStream cores are always saveable");
+        let mem_snap = mem_a.clone();
+
+        // 1. The save itself must not perturb the remainder of the run.
+        let end_a = run_from(&mut core_a, &mut mem_a, k);
+        prop_assert_eq!(end_a, total);
+        prop_assert_eq!(format!("{:?}", core_a.stats()), ref_stats.clone());
+
+        // 2. Restore + resume matches the uninterrupted reference.
+        let (mut core_b, trace_b) = restored(&cfg, &state);
+        let mut mem_b = mem_snap.clone();
+        let end_b = run_from(&mut core_b, &mut mem_b, k);
+        core_b.finish_trace(end_b);
+        prop_assert_eq!(end_b, total);
+        prop_assert_eq!(format!("{:?}", core_b.stats()), ref_stats);
+
+        // 3. Restore is deterministic, down to the trace events.
+        let (mut core_c, trace_c) = restored(&cfg, &state);
+        let mut mem_c = mem_snap.clone();
+        let end_c = run_from(&mut core_c, &mut mem_c, k);
+        core_c.finish_trace(end_c);
+        prop_assert_eq!(end_c, end_b);
+        prop_assert_eq!(
+            format!("{:?}", core_c.stats()),
+            format!("{:?}", core_b.stats())
+        );
+        let (snap_b, snap_c) = (trace_b.snapshot(), trace_c.snapshot());
+        prop_assert_eq!(snap_b.events(), snap_c.events());
+    }
+}

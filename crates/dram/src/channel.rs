@@ -22,7 +22,7 @@ struct LastCas {
 /// The channel issues at most one command per tick (shared command bus) and
 /// tracks data-bus occupancy so bandwidth utilization can be measured as the
 /// busy fraction of data-bus ticks.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Channel {
     config: DramConfig,
     banks: Vec<Bank>,

@@ -31,7 +31,7 @@ struct Pending {
 }
 
 /// FR-FCFS controller and its channel.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ChannelController {
     #[allow(dead_code)]
     channel_id: usize,

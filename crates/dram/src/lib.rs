@@ -100,11 +100,23 @@ pub struct MemResponse {
 
 /// The full DRAM back-end: one FR-FCFS controller per channel plus shared
 /// address mapping and aggregate statistics.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DramSystem {
     config: DramConfig,
     controllers: Vec<ChannelController>,
     responses: std::collections::VecDeque<MemResponse>,
+}
+
+impl dx100_common::Checkpoint for DramSystem {
+    type State = DramSystem;
+
+    fn save(&self) -> Result<Self::State, dx100_common::CheckpointError> {
+        Ok(self.clone())
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        *self = state.clone();
+    }
 }
 
 impl DramSystem {

@@ -25,7 +25,7 @@ pub struct Victim {
 
 /// A set-associative tag/state array (data payloads are not modeled; the
 /// functional layer owns data).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CacheArray {
     sets: Vec<Vec<Way>>,
     set_mask: u64,

@@ -13,7 +13,7 @@ use crate::stats::CacheStats;
 use crate::{Access, Requester};
 
 /// Results of one cache tick.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CacheOutputs {
     /// Accesses that completed at this level (hits). The hierarchy routes
     /// them one level up toward their requester.
@@ -32,7 +32,7 @@ pub struct FillResult {
 }
 
 /// A single cache level.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
     array: CacheArray,

@@ -41,7 +41,7 @@ enum Msg {
 }
 
 /// The hierarchy of Table 3: `cores` × (L1D → L2) → shared LLC.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MemoryHierarchy {
     config: HierarchyConfig,
     l1: Vec<Cache>,
@@ -59,6 +59,18 @@ const L1_PORTS: usize = 3;
 const L2_PORTS: usize = 2;
 /// LLC lookup ports (banked/shared across cores and DX100).
 const LLC_PORTS: usize = 4;
+
+impl dx100_common::Checkpoint for MemoryHierarchy {
+    type State = MemoryHierarchy;
+
+    fn save(&self) -> Result<Self::State, dx100_common::CheckpointError> {
+        Ok(self.clone())
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        *self = state.clone();
+    }
+}
 
 impl MemoryHierarchy {
     /// Builds the hierarchy described by `config`.

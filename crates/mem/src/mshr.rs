@@ -21,7 +21,7 @@ pub enum MshrOutcome {
 }
 
 /// A file of MSHRs for one cache level.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
     entries: HashMap<LineAddr, Vec<Access>>,

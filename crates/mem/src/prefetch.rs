@@ -20,7 +20,7 @@ struct StreamEntry {
 }
 
 /// A per-stream stride detector that emits prefetch candidates.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct StridePrefetcher {
     table: HashMap<u32, StreamEntry>,
     /// Prefetch distance: how many strides ahead to fetch.

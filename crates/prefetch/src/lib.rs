@@ -115,14 +115,14 @@ impl Default for DmpConfig {
 }
 
 /// Per-core trigger state.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct CoreState {
     /// Highest iteration already covered by prefetches, per pattern.
     covered: Vec<u64>,
 }
 
 /// The DMP prefetcher instance shared by the system glue.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Dmp {
     config: DmpConfig,
     patterns: Vec<IndirectPattern>,
@@ -131,6 +131,18 @@ pub struct Dmp {
     pending: VecDeque<(CoreId, LineAddr)>,
     /// Prefetches issued (statistics).
     pub issued: u64,
+}
+
+impl dx100_common::Checkpoint for Dmp {
+    type State = Dmp;
+
+    fn save(&self) -> Result<Self::State, dx100_common::CheckpointError> {
+        Ok(self.clone())
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        *self = state.clone();
+    }
 }
 
 impl Dmp {

@@ -1,0 +1,203 @@
+//! Dependency-free k-means over interval feature vectors.
+//!
+//! Features are z-score normalized per dimension, centroids are seeded with
+//! a deterministic SplitMix64 stream (k-means++-style farthest-point
+//! spreading), and Lloyd iterations run to convergence or a small fixed
+//! bound. Everything is deterministic in the seed, independent of thread
+//! count, so sampled runs are bit-reproducible.
+
+/// SplitMix64: a tiny, high-quality 64-bit PRNG (public-domain algorithm).
+/// Used for k-means initialization so the crate needs no RNG dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Derives a stable seed for a named sampling decision (kernel × stage) from
+/// the user's run seed, by hashing the salt string through SplitMix64.
+pub fn salted_seed(seed: u64, salt: &str) -> u64 {
+    let mut s = SplitMix64(seed ^ 0xA076_1D64_78BD_642F);
+    for b in salt.bytes() {
+        s.0 ^= b as u64;
+        s.next_u64();
+    }
+    s.next_u64()
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Z-score normalizes each dimension in place (constant dimensions become
+/// all-zero rather than NaN).
+pub fn normalize(points: &mut [Vec<f64>]) {
+    if points.is_empty() {
+        return;
+    }
+    let dims = points[0].len();
+    let n = points.len() as f64;
+    for d in 0..dims {
+        let mean = points.iter().map(|p| p[d]).sum::<f64>() / n;
+        let var = points.iter().map(|p| (p[d] - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        for p in points.iter_mut() {
+            p[d] = if sd > 1e-12 { (p[d] - mean) / sd } else { 0.0 };
+        }
+    }
+}
+
+/// Clusters `points` into `k` groups; returns each point's cluster index.
+/// `k` is clamped to `points.len()`. Deterministic in `seed`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+    let mut rng = SplitMix64(seed);
+
+    // Farthest-point (k-means++-style) seeding: first centroid random, each
+    // subsequent one the point farthest from its nearest centroid.
+    let mut centroids: Vec<Vec<f64>> = vec![points[rng.below(n)].clone()];
+    while centroids.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                let da = centroids.iter().map(|c| dist2(&points[a], c)).fold(f64::MAX, f64::min);
+                let db = centroids.iter().map(|c| dist2(&points[b], c)).fold(f64::MAX, f64::min);
+                da.total_cmp(&db)
+            })
+            .unwrap();
+        centroids.push(points[far].clone());
+    }
+
+    let dims = points[0].len();
+    let mut assign = vec![0usize; n];
+    for _ in 0..64 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
+                .unwrap();
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> =
+                points.iter().enumerate().filter(|(i, _)| assign[*i] == c).map(|(_, p)| p).collect();
+            if members.is_empty() {
+                continue; // empty cluster keeps its old centroid
+            }
+            for d in 0..dims {
+                centroid[d] = members.iter().map(|p| p[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+    }
+    assign
+}
+
+/// Picks up to `max_reps` representative members per cluster: the members
+/// closest to the cluster's mean point. Returns `(point_index, cluster)`
+/// pairs sorted by point index.
+pub fn representatives(
+    points: &[Vec<f64>],
+    assign: &[usize],
+    max_reps: usize,
+) -> Vec<(usize, usize)> {
+    let k = assign.iter().copied().max().map_or(0, |m| m + 1);
+    let dims = if points.is_empty() { 0 } else { points[0].len() };
+    let mut reps = Vec::new();
+    for c in 0..k {
+        let members: Vec<usize> = (0..points.len()).filter(|&i| assign[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut mean = vec![0.0; dims];
+        for &m in &members {
+            for d in 0..dims {
+                mean[d] += points[m][d];
+            }
+        }
+        for v in &mut mean {
+            *v /= members.len() as f64;
+        }
+        let mut by_dist = members.clone();
+        by_dist.sort_by(|&a, &b| {
+            dist2(&points[a], &mean)
+                .total_cmp(&dist2(&points[b], &mean))
+                .then(a.cmp(&b))
+        });
+        for &m in by_dist.iter().take(max_reps) {
+            reps.push((m, c));
+        }
+    }
+    reps.sort_unstable();
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varied() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            pts.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        normalize(&mut pts);
+        let assign = kmeans(&pts, 2, 7);
+        // All even indices together, all odd indices together, groups differ.
+        assert!(assign.iter().step_by(2).all(|&c| c == assign[0]));
+        assert!(assign.iter().skip(1).step_by(2).all(|&c| c == assign[1]));
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn kmeans_is_seed_deterministic() {
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        assert_eq!(kmeans(&pts, 4, 99), kmeans(&pts, 4, 99));
+    }
+
+    #[test]
+    fn representatives_capped_and_sorted() {
+        let pts: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        let assign = kmeans(&pts, 3, 1);
+        let reps = representatives(&pts, &assign, 2);
+        assert!(reps.len() <= 6);
+        assert!(reps.windows(2).all(|w| w[0].0 < w[1].0));
+        // Every cluster that exists is represented.
+        for c in assign.iter() {
+            assert!(reps.iter().any(|(_, rc)| rc == c));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Checkpointed, sampled simulation with parallel interval replay.
+//!
+//! Full fidelity runs simulate every work item of every kernel phase
+//! cycle-by-cycle; that makes figure sweeps the dominant wall-clock cost of
+//! the reproduction. This crate implements the standard sampled-simulation
+//! recipe (SimPoint-style interval clustering over memory-access-vector
+//! features, as in "Memory Access Vectors: Improving Sampling Fidelity for
+//! CPU Performance Simulations"), adapted to this simulator's
+//! driver-installed work-item model:
+//!
+//! 1. A kernel exposes its phases as [`SampledStage`]s: a total work-item
+//!    count, a cheap *functional* access model used for profiling, and an
+//!    `install` closure that programs any contiguous item window onto a
+//!    restored [`System`].
+//! 2. The [interval profiler](profile::profile_stage) walks the functional
+//!    access model once, diffing cumulative counters at interval boundaries
+//!    (the same `interval_*` helpers `dx100-sim`'s epoch sampler uses) into
+//!    per-interval feature vectors: indirect-access density, estimated
+//!    row-buffer hit rate, estimated MPKI, and indirect ops per
+//!    kilo-instruction (a DX100 queue-pressure proxy).
+//! 3. A dependency-free [k-means pass](kmeans) clusters the intervals and
+//!    picks up to two representatives per cluster, each weighted by the
+//!    work items its cluster covers.
+//! 4. The [replay driver](replay) restores the kernel's [`SystemCheckpoint`]
+//!    into per-thread `System` instances, simulates each selected window in
+//!    detail (with a warmup prefix excluded from the ROI), and
+//!    [reconstitutes](replay::reconstitute) weighted full-run [`RunStats`],
+//!    with a per-metric sampling-error estimate from the within-cluster
+//!    spread of the representatives.
+//!
+//! Checkpoints are taken once per kernel × machine configuration at cycle 0,
+//! after all functional setup (memory image, DMP patterns, host-resident
+//! pages, DX100 PTEs) but before any timed work: the kernels' address
+//! streams are driven by index arrays fixed at build time, so any window of
+//! any stage replays from that single checkpoint with correct timing even
+//! though the values earlier stages would have written are absent.
+
+pub mod kmeans;
+pub mod profile;
+pub mod replay;
+
+use std::sync::Arc;
+
+use dx100_sim::{System, SystemCheckpoint, SystemConfig};
+
+pub use profile::{AccessSink, FeatureVec};
+pub use replay::{
+    plan, reconstitute, replay_window, run_parallel, scale_merge, IntervalPlan,
+    ReconstitutedRun, SamplePlan, SamplingErrors, WarmCache,
+};
+
+/// One kernel phase, described for sampled replay.
+pub struct SampledStage {
+    /// Stage name (for reports; e.g. `"hist"`).
+    pub name: &'static str,
+    /// Total work items in the stage (the unit `install` windows over).
+    pub items: usize,
+    /// Functional access model: report item `i`'s memory behaviour to the
+    /// sink. Must be cheap — it runs once per item during profiling.
+    pub access: Box<dyn Fn(usize, &mut AccessSink) + Send + Sync>,
+    /// Programs items `[lo, hi)` onto a restored system. If this stage's
+    /// *addresses* depended on values an earlier stage wrote, the installer
+    /// would also have to apply those functional effects to the image
+    /// first; the current kernels' address streams all derive from index
+    /// arrays fixed at build time, so none do. Shared across replay
+    /// threads, and called at most twice per replay (warmup + ROI window).
+    pub install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync>,
+    /// Arrays this stage accesses with reuse (e.g. IS's histogram), which
+    /// the full run progressively pulls into the cache hierarchy. Replay
+    /// restores from a cycle-0 checkpoint with cold caches, and item-range
+    /// warmup cannot recover this state — each warmup item touches
+    /// *different* random lines of the array. Instead, the replay driver
+    /// warms each range before the warmup/ROI installs (functional cache
+    /// warming, as in SMARTS), to the residency the full run would have
+    /// reached by the window's position. Empty for streaming stages.
+    pub resident: Vec<Resident>,
+}
+
+/// A cache-resident array range of a [`SampledStage`], for functional
+/// warming during window replay.
+///
+/// The stage is assumed to touch one uniformly random line of the range
+/// per work item (the kernels' indirect patterns); together with
+/// `prior_touches`, that lets the replayer estimate how much of the range
+/// the full run has cached by any window's start — the expected distinct
+/// lines after `t` random touches of `L` lines, `L·(1−e^(−t/L))` — and
+/// warm a contiguous prefix of that size (for a uniformly-random access
+/// pattern only the warmed line count affects the hit probability).
+#[derive(Debug, Clone, Copy)]
+pub struct Resident {
+    /// Base address of the range.
+    pub base: u64,
+    /// Range length in bytes.
+    pub bytes: u64,
+    /// Touches the range received from the *cores* before this stage's
+    /// first item (earlier phases writing or sweeping it); 0 if the stage
+    /// starts it cold.
+    pub prior_touches: u64,
+    /// Whether DX100 runs mark this range host-resident
+    /// ([`System::mark_host_resident`]): H-bit accesses route via the LLC
+    /// and allocate, so the accelerator's own touches during the stage
+    /// build residency just like core touches do. Without the H-bit the
+    /// engines bypass the LLC and never allocate, so in DX100 runs only
+    /// `prior_touches` count toward this range's warmth.
+    pub host_resident: bool,
+}
+
+/// A kernel × mode prepared for sampled simulation.
+pub struct SampledRun {
+    /// Machine configuration replay systems are built with.
+    pub cfg: SystemConfig,
+    /// Cycle-0 post-setup checkpoint every window restores from.
+    pub checkpoint: Arc<SystemCheckpoint>,
+    /// The functional result checksum (sampling skips timed verification,
+    /// but the functional reference is still computed at prepare time).
+    pub checksum: u64,
+    /// The kernel's phases, in execution order.
+    pub stages: Vec<SampledStage>,
+}

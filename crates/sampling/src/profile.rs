@@ -1,0 +1,249 @@
+//! The interval profiler: functional access models → per-interval
+//! memory-access-vector features.
+//!
+//! A kernel stage's `access` closure replays each work item's memory
+//! behaviour against an [`AccessSink`], which maintains *cumulative*
+//! counters plus two cheap structural models (an open-row model per
+//! pseudo-bank and a direct-mapped line-reuse filter). At each interval
+//! boundary the profiler diffs the cumulative counters with the same
+//! `interval_*` helpers the epoch sampler uses (`dx100_common::stats`) and
+//! emits one [`FeatureVec`] per interval.
+
+use dx100_common::stats::{interval_delta, interval_per_kilo, interval_rate};
+
+/// Pseudo-banks in the open-row locality model (power of two).
+const BANKS: usize = 16;
+/// log2 of the modeled DRAM row size in bytes (8 KiB).
+const ROW_SHIFT: u32 = 13;
+/// log2 of the cache-line size.
+const LINE_SHIFT: u32 = 6;
+/// Entries in the direct-mapped line-reuse filter (≈ a 256 KiB cache).
+const REUSE_SLOTS: usize = 4096;
+
+/// Cumulative counters the profiler snapshots at interval boundaries.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    instructions: u64,
+    stream_accesses: u64,
+    indirect_accesses: u64,
+    row_hits: u64,
+    row_misses: u64,
+    line_misses: u64,
+}
+
+/// Receives one work item's functional memory accesses during profiling.
+pub struct AccessSink {
+    cur: Counters,
+    prev: Counters,
+    open_row: [u64; BANKS],
+    reuse: Vec<u64>,
+}
+
+impl Default for AccessSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AccessSink {
+    /// A fresh sink with cold row and reuse models.
+    pub fn new() -> Self {
+        AccessSink {
+            cur: Counters::default(),
+            prev: Counters::default(),
+            open_row: [u64::MAX; BANKS],
+            reuse: vec![u64::MAX; REUSE_SLOTS],
+        }
+    }
+
+    /// Records `n` non-memory instructions (address arithmetic, ALU work).
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.cur.instructions += n;
+    }
+
+    /// Records a sequential/streaming access at byte address `addr`.
+    #[inline]
+    pub fn stream(&mut self, addr: u64) {
+        self.cur.stream_accesses += 1;
+        self.touch(addr);
+    }
+
+    /// Records a data-dependent (indirect) access at byte address `addr`.
+    #[inline]
+    pub fn indirect(&mut self, addr: u64) {
+        self.cur.indirect_accesses += 1;
+        self.touch(addr);
+    }
+
+    fn touch(&mut self, addr: u64) {
+        self.cur.instructions += 1;
+        let line = addr >> LINE_SHIFT;
+        let slot = (line as usize) % REUSE_SLOTS;
+        if self.reuse[slot] != line {
+            self.reuse[slot] = line;
+            self.cur.line_misses += 1;
+            // Only line-filter misses reach the row model, mirroring how
+            // only cache misses reach DRAM.
+            let bank = (line as usize) & (BANKS - 1);
+            let row = addr >> ROW_SHIFT;
+            if self.open_row[bank] == row {
+                self.cur.row_hits += 1;
+            } else {
+                self.open_row[bank] = row;
+                self.cur.row_misses += 1;
+            }
+        }
+    }
+
+    /// Closes the current interval: returns its features and advances the
+    /// baseline snapshot.
+    pub fn finish_interval(&mut self) -> FeatureVec {
+        let c = self.cur;
+        let p = self.prev;
+        let accesses = interval_delta(
+            c.stream_accesses + c.indirect_accesses,
+            p.stream_accesses + p.indirect_accesses,
+        );
+        let indirect = interval_delta(c.indirect_accesses, p.indirect_accesses);
+        let f = FeatureVec {
+            indirect_density: if accesses == 0 { 0.0 } else { indirect as f64 / accesses as f64 },
+            est_row_hit_rate: interval_rate(
+                (c.row_hits, p.row_hits),
+                (c.row_misses, p.row_misses),
+            ),
+            est_mpki: interval_per_kilo(
+                (c.line_misses, p.line_misses),
+                (c.instructions, p.instructions),
+            ),
+            indirect_pki: interval_per_kilo(
+                (c.indirect_accesses, p.indirect_accesses),
+                (c.instructions, p.instructions),
+            ),
+        };
+        self.prev = c;
+        f
+    }
+}
+
+/// Memory-access-vector features of one profiled interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVec {
+    /// Fraction of memory accesses that are data-dependent.
+    pub indirect_density: f64,
+    /// Row-buffer hit-rate estimate from the open-row model.
+    pub est_row_hit_rate: f64,
+    /// Misses-per-kilo-instruction estimate from the line-reuse filter.
+    pub est_mpki: f64,
+    /// Indirect accesses per kilo-instruction (DX100 queue-pressure proxy).
+    pub indirect_pki: f64,
+}
+
+impl FeatureVec {
+    /// The feature vector as a point for clustering.
+    pub fn as_point(&self) -> Vec<f64> {
+        vec![self.indirect_density, self.est_row_hit_rate, self.est_mpki, self.indirect_pki]
+    }
+}
+
+/// Profiles a stage's functional access model over `items` work items cut
+/// into `intervals` equal windows; returns one [`FeatureVec`] per interval.
+pub fn profile_stage(
+    access: &(dyn Fn(usize, &mut AccessSink) + Send + Sync),
+    items: usize,
+    intervals: usize,
+) -> Vec<FeatureVec> {
+    let intervals = intervals.clamp(1, items.max(1));
+    let per = items.div_ceil(intervals);
+    let mut sink = AccessSink::new();
+    let mut out = Vec::with_capacity(intervals);
+    // Boundaries are clamped to `items`, so the final (possibly partial)
+    // interval always closes at `i + 1 == items`; fewer than `intervals`
+    // may be emitted when `per` over-covers, never an empty trailing one.
+    let mut next = per.min(items);
+    for i in 0..items {
+        access(i, &mut sink);
+        if i + 1 == next {
+            out.push(sink.finish_interval());
+            next = (next + per).min(items);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_count_and_boundaries() {
+        let feats = profile_stage(&|_i, s| s.stream(0), 100, 10);
+        assert_eq!(feats.len(), 10);
+        let feats = profile_stage(&|_i, s| s.stream(0), 7, 10);
+        assert_eq!(feats.len(), 7); // clamped to one item per interval
+    }
+
+    #[test]
+    fn partial_tail_never_emits_out_of_range_interval() {
+        // per = ceil(1024/48) = 22, so 22 × 47 > 1024: the last interval is
+        // partial and the count drops below the target — but every emitted
+        // interval must map to a non-empty in-range item window.
+        for items in [512usize, 1000, 1024, 1025] {
+            let feats = profile_stage(&|_i, s| s.stream(0), items, 48);
+            let per = items.div_ceil(48);
+            assert!(feats.len() <= 48);
+            for i in 0..feats.len() {
+                assert!(i * per < items, "interval {i} empty for items={items}");
+            }
+            // Coverage: the last interval's end clamps to exactly `items`.
+            assert_eq!(((feats.len() - 1) * per + per).min(items), items);
+        }
+    }
+
+    #[test]
+    fn indirect_density_reflects_access_mix() {
+        // Items alternate: even items streaming, odd items indirect.
+        let feats = profile_stage(
+            &|i, s| {
+                if i % 2 == 0 {
+                    s.stream(i as u64 * 64)
+                } else {
+                    s.indirect(i as u64 * 7919 * 64)
+                }
+            },
+            1000,
+            4,
+        );
+        for f in &feats {
+            assert!((f.indirect_density - 0.5).abs() < 0.01, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_walk_has_high_row_hit_estimate() {
+        // A sequential walk interleaves across the 16 pseudo-banks; each
+        // bank sees 8 consecutive lines per 8 KiB row, so 7 of every 8
+        // line misses hit the open row.
+        let feats = profile_stage(&|i, s| s.stream(i as u64 * 64), 4096, 2);
+        for f in &feats {
+            assert!(f.est_row_hit_rate > 0.8, "{f:?}");
+        }
+        // A random-ish large-stride walk mostly misses the open row.
+        let feats = profile_stage(
+            &|i, s| s.indirect((i as u64).wrapping_mul(0x9E3779B97F4A7C15) % (1 << 30)),
+            4096,
+            2,
+        );
+        for f in &feats {
+            assert!(f.est_row_hit_rate < 0.5, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn reuse_filter_suppresses_hot_line_misses() {
+        // All accesses to one line: only the first interval records a miss.
+        let feats = profile_stage(&|_i, s| s.stream(64), 1000, 2);
+        assert!(feats[0].est_mpki > 0.0);
+        assert_eq!(feats[1].est_mpki, 0.0);
+    }
+}

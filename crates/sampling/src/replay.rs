@@ -1,0 +1,619 @@
+//! Window planning, parallel replay, and weighted reconstitution.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use dx100_common::stats::{RunningAverage, Ratio};
+use dx100_common::Checkpoint;
+use dx100_core::MemoryImage;
+use dx100_cpu::{CoreOp, OpStream};
+use dx100_sim::{Driver, DriverStatus, RunStats, System, SystemCheckpoint};
+
+use crate::kmeans::{kmeans, normalize, representatives, salted_seed};
+use crate::profile::profile_stage;
+use crate::SampledRun;
+
+/// Target number of profiling intervals per stage.
+const TARGET_INTERVALS: usize = 48;
+/// Minimum work items per interval: below this, per-window transients
+/// (pipeline fill, accelerator offload setup) dominate the measurement and
+/// bias the reconstituted cycle count, so small stages get fewer, larger
+/// windows — degenerating to one whole-stage window for tiny runs.
+const MIN_INTERVAL_ITEMS: usize = 8192;
+/// Maximum clusters per stage.
+const MAX_CLUSTERS: usize = 8;
+/// Representatives simulated per cluster (two, so within-cluster spread
+/// yields a sampling-error estimate).
+const REPS_PER_CLUSTER: usize = 2;
+/// Warmup work items simulated (outside the ROI) before each window, as a
+/// fraction of the window size. A window at the very start of a stage is
+/// instead warmed with the tail of the *previous* stage, approximating the
+/// cache state the full run carries across the phase boundary.
+const WARMUP_FRACTION: usize = 2; // window / 2
+
+/// One selected window of one stage, with its reconstitution weight.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalPlan {
+    /// Stage index within the kernel.
+    pub stage: usize,
+    /// First work item of the ROI window (inclusive).
+    pub lo: usize,
+    /// Past-the-end work item of the ROI window.
+    pub hi: usize,
+    /// First warmup item (`warm_lo..lo` runs outside the ROI).
+    pub warm_lo: usize,
+    /// Weight: this window's stats × `factor` estimates its cluster's
+    /// share of the full stage.
+    pub factor: f64,
+    /// Cluster this window represents.
+    pub cluster: usize,
+    /// Representatives its cluster has (for the error estimate).
+    pub cluster_reps: usize,
+}
+
+/// The selected windows for one kernel × mode.
+#[derive(Debug, Clone)]
+pub struct SamplePlan {
+    /// Windows to simulate in detail.
+    pub windows: Vec<IntervalPlan>,
+    /// Total profiled intervals across stages (denominator for the
+    /// "intervals simulated / total" report line).
+    pub total_intervals: usize,
+}
+
+/// Profiles, clusters, and selects representative windows for `run`.
+/// Deterministic in `seed` and `salt` (use the kernel × mode name).
+pub fn plan(run: &SampledRun, seed: u64, salt: &str) -> SamplePlan {
+    let mut windows = Vec::new();
+    let mut total_intervals = 0;
+    for (si, stage) in run.stages.iter().enumerate() {
+        let intervals = TARGET_INTERVALS
+            .min(stage.items / MIN_INTERVAL_ITEMS)
+            .clamp(1, stage.items.max(1));
+        let per = stage.items.div_ceil(intervals);
+        let feats = profile_stage(&*stage.access, stage.items, intervals);
+        total_intervals += feats.len();
+        let mut points: Vec<Vec<f64>> = feats.iter().map(|f| f.as_point()).collect();
+        normalize(&mut points);
+        let k = MAX_CLUSTERS.min(points.len());
+        let assign = kmeans(
+            &points,
+            k,
+            salted_seed(seed, &format!("{salt}/{}", stage.name)),
+        );
+        let reps = representatives(&points, &assign, REPS_PER_CLUSTER);
+        let n = feats.len();
+        for &(interval, cluster) in &reps {
+            let lo = (interval * per).min(stage.items);
+            let hi = ((interval + 1) * per).min(stage.items);
+            if hi <= lo {
+                continue; // degenerate empty window; nothing to simulate
+            }
+            let members = assign.iter().filter(|&&c| c == cluster).count();
+            let cluster_reps = reps.iter().filter(|(_, c)| *c == cluster).count();
+            // Items this cluster covers, split evenly over its reps,
+            // relative to the items this window actually simulates.
+            let cluster_items: usize = (0..n)
+                .filter(|&i| assign[i] == cluster)
+                .map(|i| ((i + 1) * per).min(stage.items).saturating_sub(i * per))
+                .sum();
+            debug_assert!(members >= cluster_reps);
+            let factor = cluster_items as f64 / (cluster_reps as f64 * (hi - lo) as f64);
+            let warm = (hi - lo) / WARMUP_FRACTION;
+            windows.push(IntervalPlan {
+                stage: si,
+                lo,
+                hi,
+                warm_lo: lo.saturating_sub(warm),
+                factor,
+                cluster: cluster + si * MAX_CLUSTERS, // stage-unique cluster ids
+                cluster_reps,
+            });
+        }
+    }
+    SamplePlan { windows, total_intervals }
+}
+
+/// Stream id for functional cache-warming sweeps; distinct from any kernel
+/// stream so warming does not perturb per-stream prefetcher training.
+const WARM_STREAM: u32 = 97;
+
+/// Dependency-free line-strided load stream used to pull a stage's
+/// cache-resident arrays into the hierarchy before a window replays.
+struct StrideSweep {
+    addr: u64,
+    step: u64,
+    remaining: u64,
+}
+
+impl OpStream for StrideSweep {
+    fn next_op(&mut self) -> Option<CoreOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Stores, not loads: the kernels *write* their resident arrays
+        // (histogram RMWs, scatter accumulation), so in the full run these
+        // lines sit dirty in the hierarchy. Warming them clean would make
+        // replayed accelerator snoops and evictions cheaper than reality.
+        let op = CoreOp::store(self.addr, WARM_STREAM);
+        self.addr += self.step;
+        self.remaining -= 1;
+        Some(op)
+    }
+}
+
+/// One range's warming sweep: the first `lines` cache lines of the range,
+/// touched sequentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WarmSweep {
+    base: u64,
+    lines: u64,
+}
+
+/// The expected residency of a stage's arrays at item `lo`: after
+/// `t = prior_touches + lo` uniformly random touches of a range with `L`
+/// lines, the full run has cached `L·(1−e^(−t/L))` distinct lines — capped
+/// at `cap_lines` lines actually retainable (see [`replay_window`]). The
+/// warmed fraction is quantized to quarters — coarse, but it keys the
+/// warmed-checkpoint cache, so windows deep into a stage (coverage ≈ 1)
+/// all share one warm simulation. The warmed lines are a *contiguous
+/// prefix* of the range: in reality they are a random subset, but for a
+/// uniformly-random access pattern only the warmed line *count* affects
+/// the hit probability, and a sequential sweep distributes evenly over
+/// cache sets (a strided sweep concentrates into a subset of sets and
+/// measurably fails to retain). Ranges the full run has barely touched
+/// stay cold.
+fn warm_plan(
+    ranges: &[crate::Resident],
+    lo: usize,
+    dx100: bool,
+    cap_lines: u64,
+) -> Vec<WarmSweep> {
+    let mut sweeps = Vec::new();
+    for r in ranges {
+        let total = r.bytes.div_ceil(64);
+        // In DX100 runs the engines execute the stage, and their accesses
+        // only allocate LLC lines on the host-resident H-bit path; without
+        // it the array's residency is whatever the cores left behind.
+        let during = if dx100 && !r.host_resident { 0 } else { lo as u64 };
+        let t = (r.prior_touches + during) as f64;
+        let coverage = 1.0 - (-t / total as f64).exp();
+        let coverage = coverage.min(cap_lines as f64 / total as f64);
+        let quarters = (coverage * 4.0).round() as u64;
+        if quarters == 0 {
+            continue;
+        }
+        sweeps.push(WarmSweep {
+            base: r.base,
+            lines: (total * quarters.min(4)) / 4,
+        });
+    }
+    sweeps
+}
+
+/// Installs warming sweeps, each interleaved across cores (core `c`
+/// touches the sweep's lines `c, c+cores, ...`).
+fn install_resident(sys: &mut System, sweeps: &[WarmSweep]) {
+    let cores = sys.num_cores() as u64;
+    for s in sweeps {
+        for c in 0..cores {
+            let n = s.lines.saturating_sub(c).div_ceil(cores);
+            if n > 0 {
+                sys.push_stream(
+                    c as usize,
+                    Box::new(StrideSweep {
+                        addr: s.base + c * 64,
+                        step: cores * 64,
+                        remaining: n,
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// Runs `sweeps` to drain on a fresh restore of `run`'s checkpoint.
+struct WarmDriver<'a> {
+    sweeps: &'a [WarmSweep],
+    installed: bool,
+}
+
+impl Driver for WarmDriver<'_> {
+    fn poll(&mut self, sys: &mut System) -> DriverStatus {
+        if !sys.cores_idle() {
+            return DriverStatus::Running;
+        }
+        if !self.installed {
+            self.installed = true;
+            install_resident(sys, self.sweeps);
+            return DriverStatus::Running;
+        }
+        DriverStatus::Done
+    }
+}
+
+/// Simulates `sweeps` from the run's cycle-0 checkpoint and snapshots the
+/// warmed system.
+fn warmed_checkpoint(run: &SampledRun, sweeps: &[WarmSweep]) -> SystemCheckpoint {
+    let mut sys = System::new(run.cfg.clone(), MemoryImage::default());
+    sys.restore(&run.checkpoint);
+    sys.run(&mut WarmDriver { sweeps, installed: false });
+    sys.save().expect("a drained warmed system is always saveable")
+}
+
+/// Cache of warmed checkpoints for one kernel × mode's window replays,
+/// keyed by the quantized warming plan. Windows deep into a stage share a
+/// plan, so each distinct warm state is simulated once — not once per
+/// window, which would cost more than sampling saves.
+#[derive(Default)]
+pub struct WarmCache {
+    map: Mutex<HashMap<Vec<WarmSweep>, Arc<SystemCheckpoint>>>,
+}
+
+impl WarmCache {
+    fn get(&self, run: &SampledRun, sweeps: Vec<WarmSweep>) -> Arc<SystemCheckpoint> {
+        if let Some(ck) = self.map.lock().unwrap().get(&sweeps) {
+            return ck.clone();
+        }
+        // Built outside the lock: workers racing on the same key waste a
+        // duplicate simulation (deterministic, so the results are
+        // identical) but never serialize on it.
+        let ck = Arc::new(warmed_checkpoint(run, &sweeps));
+        self.map.lock().unwrap().entry(sweeps).or_insert(ck).clone()
+    }
+}
+
+/// Phased driver for one window replay: warmup installs (outside the ROI,
+/// each drained), then the ROI window, drain, ROI end.
+struct WindowDriver<'a> {
+    run: &'a SampledRun,
+    /// `(stage, lo, hi)` item ranges to install in order; the last one is
+    /// the measured ROI window, everything before it is warmup.
+    installs: Vec<(usize, usize, usize)>,
+    next: usize,
+    roi_open: bool,
+}
+
+impl Driver for WindowDriver<'_> {
+    fn poll(&mut self, sys: &mut System) -> DriverStatus {
+        if !sys.cores_idle() {
+            return DriverStatus::Running;
+        }
+        if self.next < self.installs.len() {
+            let (si, lo, hi) = self.installs[self.next];
+            if self.next + 1 == self.installs.len() {
+                sys.roi_begin();
+                self.roi_open = true;
+            }
+            (self.run.stages[si].install)(sys, lo, hi);
+            self.next += 1;
+            return DriverStatus::Running;
+        }
+        if self.roi_open {
+            sys.roi_end();
+            self.roi_open = false;
+        }
+        DriverStatus::Done
+    }
+}
+
+/// Replays one planned window on a fresh system and returns the ROI
+/// statistics. The system starts from the run's cycle-0 checkpoint — or,
+/// when the window's stage declares cache-resident arrays, from a warmed
+/// checkpoint matching the residency the full run reaches by the window's
+/// position (functional cache warming, as in SMARTS; item-range warmup
+/// cannot recover this state because each item touches *different* random
+/// lines).
+///
+/// Warm residency is capped by what the hierarchy can retain: baseline
+/// cores back the shared LLC with private L1/L2s and constantly refill it
+/// with their own demand misses, so they hold the full modeled coverage;
+/// the DX100 engines' H-bit path has only the LLC behind it, and its
+/// allocations churn against their own evictions. The quarter-LLC
+/// effective retention was calibrated once against the full-fidelity IS
+/// run at default scale (the only H-bit workload; measured end states
+/// bracket it: cold replay overshoots full-run cycles by ~31%, full-LLC
+/// warming undershoots by ~37%).
+pub fn replay_window(run: &SampledRun, plan: IntervalPlan, warm: &WarmCache) -> RunStats {
+    let mut sys = System::new(run.cfg.clone(), MemoryImage::default());
+    let dx100 = run.cfg.dx100.is_some();
+    let llc_lines = run.cfg.hierarchy.llc.size_bytes / 64;
+    let cap_lines = if dx100 { llc_lines / 4 } else { u64::MAX };
+    let sweeps = warm_plan(&run.stages[plan.stage].resident, plan.lo, dx100, cap_lines);
+    if sweeps.is_empty() {
+        sys.restore(&run.checkpoint);
+    } else {
+        sys.restore(&warm.get(run, sweeps));
+    }
+    let mut installs = Vec::new();
+    // A window at the head of a stage inherits no same-stage warmup; warm
+    // it with the previous stage's tail instead, approximating the cache
+    // and row-buffer state the full run carries across phase boundaries.
+    if plan.lo == 0 && plan.stage > 0 {
+        let prev = plan.stage - 1;
+        let pitems = run.stages[prev].items;
+        let w = (plan.hi - plan.lo).min(pitems);
+        if w > 0 {
+            installs.push((prev, pitems - w, pitems));
+        }
+    }
+    if plan.warm_lo < plan.lo {
+        installs.push((plan.stage, plan.warm_lo, plan.lo));
+    }
+    installs.push((plan.stage, plan.lo, plan.hi));
+    let mut driver = WindowDriver { run, installs, next: 0, roi_open: false };
+    sys.run(&mut driver)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel task execution
+// ---------------------------------------------------------------------------
+
+/// Runs `tasks` on `threads` worker threads, returning results in task
+/// order. Results are written into pre-sized slots indexed by task id, so
+/// the output is identical for any thread count.
+pub fn run_parallel<'a, T: Send>(
+    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'a>>,
+    threads: usize,
+) -> Vec<T> {
+    let n = tasks.len();
+    let threads = threads.clamp(1, n.max(1));
+    let queue: Mutex<VecDeque<(usize, Box<dyn FnOnce() -> T + Send + 'a>)>> =
+        Mutex::new(tasks.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().unwrap().pop_front();
+                match job {
+                    Some((i, task)) => {
+                        let r = task();
+                        *slots[i].lock().unwrap() = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker completed every task"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Weighted reconstitution
+// ---------------------------------------------------------------------------
+
+fn su(acc: &mut u64, v: u64, f: f64) {
+    *acc += (v as f64 * f).round() as u64;
+}
+
+fn scale_merge_avg(acc: &mut RunningAverage, v: &RunningAverage, f: f64) {
+    acc.merge_scaled(v, f);
+}
+
+fn scale_merge_ratio(acc: &mut Ratio, v: &Ratio, f: f64) {
+    acc.merge_scaled(v, f);
+}
+
+/// Folds `s` into `acc` with every counter scaled by `factor`, so that the
+/// sum over all windows of `stats × factor` estimates the full run.
+pub fn scale_merge(acc: &mut RunStats, s: &RunStats, f: f64) {
+    su(&mut acc.cycles, s.cycles, f);
+    su(&mut acc.instructions, s.instructions, f);
+
+    let c = &mut acc.core;
+    su(&mut c.cycles, s.core.cycles, f);
+    su(&mut c.instructions, s.core.instructions, f);
+    su(&mut c.spin_instructions, s.core.spin_instructions, f);
+    su(&mut c.mem_ops_issued, s.core.mem_ops_issued, f);
+    su(&mut c.wait_cycles, s.core.wait_cycles, f);
+    su(&mut c.stall_rob_full, s.core.stall_rob_full, f);
+    su(&mut c.stall_lq_full, s.core.stall_lq_full, f);
+    su(&mut c.stall_sq_full, s.core.stall_sq_full, f);
+    su(&mut c.stall_fence, s.core.stall_fence, f);
+    scale_merge_avg(&mut c.rob_occupancy, &s.core.rob_occupancy, f);
+    scale_merge_avg(&mut c.lq_occupancy, &s.core.lq_occupancy, f);
+
+    let d = &mut acc.dram;
+    su(&mut d.ticks, s.dram.ticks, f);
+    su(&mut d.data_busy_ticks, s.dram.data_busy_ticks, f);
+    su(&mut d.reads, s.dram.reads, f);
+    su(&mut d.writes, s.dram.writes, f);
+    su(&mut d.activates, s.dram.activates, f);
+    su(&mut d.precharges, s.dram.precharges, f);
+    su(&mut d.refreshes, s.dram.refreshes, f);
+    scale_merge_ratio(&mut d.row_hits_misses, &s.dram.row_hits_misses, f);
+    scale_merge_avg(&mut d.occupancy, &s.dram.occupancy, f);
+    scale_merge_avg(&mut d.queue_latency, &s.dram.queue_latency, f);
+    acc.dram_channels = s.dram_channels;
+
+    for (al, sl) in [
+        (&mut acc.hierarchy.l1, &s.hierarchy.l1),
+        (&mut acc.hierarchy.l2, &s.hierarchy.l2),
+        (&mut acc.hierarchy.llc, &s.hierarchy.llc),
+    ] {
+        su(&mut al.demand_hits, sl.demand_hits, f);
+        su(&mut al.demand_misses, sl.demand_misses, f);
+        su(&mut al.mshr_coalesced, sl.mshr_coalesced, f);
+        su(&mut al.mshr_full_stalls, sl.mshr_full_stalls, f);
+        su(&mut al.prefetch_issued, sl.prefetch_issued, f);
+        su(&mut al.prefetch_useful, sl.prefetch_useful, f);
+        su(&mut al.writebacks_received, sl.writebacks_received, f);
+        su(&mut al.dx100_accesses, sl.dx100_accesses, f);
+        su(&mut al.dx100_hits, sl.dx100_hits, f);
+    }
+
+    if let Some(sx) = &s.dx100 {
+        let ax = acc.dx100.get_or_insert_with(Default::default);
+        su(&mut ax.instructions_retired, sx.instructions_retired, f);
+        su(&mut ax.elements_processed, sx.elements_processed, f);
+        su(&mut ax.stream_line_requests, sx.stream_line_requests, f);
+        su(&mut ax.indirect_line_reads, sx.indirect_line_reads, f);
+        su(&mut ax.indirect_line_writes, sx.indirect_line_writes, f);
+        su(&mut ax.condition_skips, sx.condition_skips, f);
+        su(&mut ax.words_coalesced, sx.words_coalesced, f);
+        su(&mut ax.snoop_hits, sx.snoop_hits, f);
+        su(&mut ax.snoop_misses, sx.snoop_misses, f);
+        su(&mut ax.reqbuf_stall_cycles, sx.reqbuf_stall_cycles, f);
+        su(&mut ax.rowtable_stall_cycles, sx.rowtable_stall_cycles, f);
+        su(&mut ax.tlb_hits, sx.tlb_hits, f);
+        su(&mut ax.tlb_misses, sx.tlb_misses, f);
+        su(&mut ax.coherency_invalidations, sx.coherency_invalidations, f);
+    }
+    su(&mut acc.dmp_prefetches, s.dmp_prefetches, f);
+}
+
+/// Per-metric relative sampling-error estimates, from the within-cluster
+/// spread of each cluster's representatives (standard error of the
+/// weighted-cluster estimator; clusters with one representative
+/// contribute no measurable spread).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamplingErrors {
+    /// Relative standard error of the reconstituted cycle count (this
+    /// bounds the speedup error when both sides are sampled).
+    pub cycles: f64,
+    /// Relative standard error of the row-buffer hit rate.
+    pub row_buffer_hit_rate: f64,
+    /// Relative standard error of LLC MPKI.
+    pub llc_mpki: f64,
+}
+
+/// A reconstituted full-run estimate plus its error bars.
+#[derive(Debug, Clone)]
+pub struct ReconstitutedRun {
+    /// Weighted full-run statistics estimate.
+    pub stats: RunStats,
+    /// Per-metric relative standard errors.
+    pub errors: SamplingErrors,
+    /// Windows simulated in detail.
+    pub windows: usize,
+    /// Intervals profiled in total.
+    pub total_intervals: usize,
+}
+
+/// Combines per-window replay stats into a weighted full-run estimate.
+pub fn reconstitute(plan: &SamplePlan, results: &[RunStats]) -> ReconstitutedRun {
+    assert_eq!(plan.windows.len(), results.len());
+    let mut stats = RunStats::default();
+    for (w, r) in plan.windows.iter().zip(results) {
+        scale_merge(&mut stats, r, w.factor);
+    }
+    let errors = SamplingErrors {
+        cycles: metric_rel_stderr(plan, results, |r| r.cycles as f64),
+        row_buffer_hit_rate: metric_rel_stderr(plan, results, |r| r.row_buffer_hit_rate()),
+        llc_mpki: metric_rel_stderr(plan, results, |r| r.llc_mpki()),
+    };
+    ReconstitutedRun {
+        stats,
+        errors,
+        windows: plan.windows.len(),
+        total_intervals: plan.total_intervals,
+    }
+}
+
+/// Relative standard error of the weighted estimate of `metric`: per
+/// cluster, the sample variance across that cluster's representatives,
+/// propagated through the cluster weights
+/// (`stderr² = Σ_c w_c² · s_c² / n_c`, relative to the weighted mean).
+fn metric_rel_stderr(
+    plan: &SamplePlan,
+    results: &[RunStats],
+    metric: impl Fn(&RunStats) -> f64,
+) -> f64 {
+    use std::collections::HashMap;
+    let mut clusters: HashMap<usize, (f64, Vec<f64>)> = HashMap::new();
+    for (w, r) in plan.windows.iter().zip(results) {
+        let e = clusters.entry(w.cluster).or_insert((0.0, Vec::new()));
+        e.0 += w.factor;
+        e.1.push(metric(r));
+    }
+    let mut total = 0.0;
+    let mut var = 0.0;
+    for (weight, vals) in clusters.values() {
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        total += weight * mean;
+        if vals.len() > 1 {
+            let s2 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var += weight * weight * s2 / n;
+        }
+    }
+    if total.abs() < 1e-12 {
+        0.0
+    } else {
+        var.sqrt() / total.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_task_order_for_any_thread_count() {
+        let make = || -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+            (0..37usize)
+                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect()
+        };
+        let expect: Vec<usize> = (0..37usize).map(|i| i * i).collect();
+        for threads in [1, 3, 8, 64] {
+            assert_eq!(run_parallel(make(), threads), expect);
+        }
+    }
+
+    #[test]
+    fn scale_merge_scales_counters_and_preserves_means() {
+        let mut s = RunStats::default();
+        s.cycles = 1000;
+        s.instructions = 4000;
+        s.dram.reads = 100;
+        for _ in 0..30 {
+            s.dram.row_hits_misses.hit();
+        }
+        for _ in 0..10 {
+            s.dram.row_hits_misses.miss();
+        }
+        s.dram.occupancy.sample(8.0);
+        s.dram.occupancy.sample(8.0);
+        let mut acc = RunStats::default();
+        scale_merge(&mut acc, &s, 2.5);
+        assert_eq!(acc.cycles, 2500);
+        assert_eq!(acc.instructions, 10000);
+        assert_eq!(acc.dram.reads, 250);
+        assert_eq!(acc.dram.row_hits_misses.hits(), 75);
+        assert!((acc.row_buffer_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((acc.dram.occupancy.mean() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstitute_weights_clusters_and_reports_spread() {
+        // Two clusters: cluster 0 (weight 2× per rep, two reps), cluster 1
+        // (one rep at factor 4).
+        let mk = |cycles: u64| {
+            let mut r = RunStats::default();
+            r.cycles = cycles;
+            r.instructions = cycles;
+            r
+        };
+        let plan = SamplePlan {
+            windows: vec![
+                IntervalPlan { stage: 0, lo: 0, hi: 10, warm_lo: 0, factor: 2.0, cluster: 0, cluster_reps: 2 },
+                IntervalPlan { stage: 0, lo: 20, hi: 30, warm_lo: 18, factor: 2.0, cluster: 0, cluster_reps: 2 },
+                IntervalPlan { stage: 0, lo: 40, hi: 50, warm_lo: 38, factor: 4.0, cluster: 1, cluster_reps: 1 },
+            ],
+            total_intervals: 8,
+        };
+        let results = vec![mk(100), mk(120), mk(50)];
+        let rec = reconstitute(&plan, &results);
+        assert_eq!(rec.stats.cycles, 2 * 100 + 2 * 120 + 4 * 50);
+        assert_eq!(rec.windows, 3);
+        assert_eq!(rec.total_intervals, 8);
+        // Cluster 0's two reps disagree → non-zero cycle error; and it is
+        // a *relative* error well under 100%.
+        assert!(rec.errors.cycles > 0.0);
+        assert!(rec.errors.cycles < 0.5);
+    }
+}

@@ -5,6 +5,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use dx100_common::CheckpointError;
 use dx100_cpu::{CoreOp, OpStream};
 
 enum Segment {
@@ -68,6 +69,45 @@ impl ChannelInner {
                 .iter()
                 .all(|s| matches!(s, Segment::Ops(q) if q.is_empty()))
     }
+
+    /// Snapshots the queued segments for a [`System`](crate::System)
+    /// checkpoint. Fails with [`CheckpointError::UnclonableStream`] if a
+    /// queued generator does not support `try_clone`.
+    pub fn save_segments(&self) -> Result<Vec<SegmentState>, CheckpointError> {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Ops(q) => Ok(SegmentState::Ops(q.clone())),
+                Segment::Gen(g) => g
+                    .try_clone()
+                    .map(SegmentState::Gen)
+                    .ok_or(CheckpointError::UnclonableStream),
+            })
+            .collect()
+    }
+
+    /// Replaces the queued segments with a previously saved snapshot.
+    pub fn restore_segments(&mut self, saved: &[SegmentState]) {
+        self.segments = saved
+            .iter()
+            .map(|s| match s {
+                SegmentState::Ops(q) => Segment::Ops(q.clone()),
+                SegmentState::Gen(g) => Segment::Gen(
+                    g.try_clone()
+                        .expect("a saved generator clone must itself be clonable"),
+                ),
+            })
+            .collect();
+    }
+}
+
+/// Saved form of one channel segment. Generators are stored as `Send`
+/// clones so whole-`System` checkpoints can cross thread boundaries.
+pub enum SegmentState {
+    /// Literal queued micro-ops.
+    Ops(VecDeque<CoreOp>),
+    /// A lazy generator, captured via `OpStream::try_clone`.
+    Gen(Box<dyn OpStream + Send + Sync>),
 }
 
 /// Shared handle to a core's channel: the [`System`](crate::System) holds

@@ -13,6 +13,10 @@
 //! [`RunningAverage`](dx100_common::stats::RunningAverage) diff the
 //! underlying (sum, count) pairs so the interval mean is exact.
 
+use dx100_common::stats::{
+    interval_delta, interval_mean, interval_per_kilo, interval_rate, interval_ratio,
+};
+
 use crate::stats::RunStats;
 
 /// Metrics for one epoch (an interval of `end_cycle - start_cycle` CPU
@@ -80,7 +84,7 @@ impl Baseline {
 }
 
 /// Samples interval metrics every `epoch` cycles. See the module docs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EpochSampler {
     epoch: u64,
     next_boundary: u64,
@@ -148,36 +152,29 @@ impl EpochSampler {
     fn push_interval(&mut self, now: u64, stats: &RunStats, dx100_queue_depth: u64) {
         let cur = Baseline::capture(now, stats);
         let p = &self.prev;
-        let instructions = cur.instructions.saturating_sub(p.instructions);
-        let reads = cur.dram_reads.saturating_sub(p.dram_reads);
-        let writes = cur.dram_writes.saturating_sub(p.dram_writes);
-        let hits = cur.row_hits.saturating_sub(p.row_hits);
-        let misses = cur.row_misses.saturating_sub(p.row_misses);
-        let cas = hits + misses;
-        let busy = cur.data_busy_ticks.saturating_sub(p.data_busy_ticks);
-        let ticks = cur.dram_ticks.saturating_sub(p.dram_ticks);
-        let occ_count = cur.occupancy_count.saturating_sub(p.occupancy_count);
-        let occ_sum = (cur.occupancy_sum - p.occupancy_sum).max(0.0);
-        let llc_misses = cur.llc_misses.saturating_sub(p.llc_misses);
         self.samples.push(EpochSample {
             start_cycle: p.cycle,
             end_cycle: now,
-            instructions,
-            dram_reads: reads,
-            dram_writes: writes,
-            row_buffer_hit_rate: if cas > 0 { hits as f64 / cas as f64 } else { 0.0 },
-            bandwidth_utilization: if ticks > 0 { busy as f64 / ticks as f64 } else { 0.0 },
-            request_buffer_occupancy: if occ_count > 0 {
-                occ_sum / occ_count as f64
-            } else {
-                0.0
-            },
-            llc_misses,
-            llc_mpki: if instructions > 0 {
-                llc_misses as f64 * 1000.0 / instructions as f64
-            } else {
-                0.0
-            },
+            instructions: interval_delta(cur.instructions, p.instructions),
+            dram_reads: interval_delta(cur.dram_reads, p.dram_reads),
+            dram_writes: interval_delta(cur.dram_writes, p.dram_writes),
+            row_buffer_hit_rate: interval_rate(
+                (cur.row_hits, p.row_hits),
+                (cur.row_misses, p.row_misses),
+            ),
+            bandwidth_utilization: interval_ratio(
+                (cur.data_busy_ticks, p.data_busy_ticks),
+                (cur.dram_ticks, p.dram_ticks),
+            ),
+            request_buffer_occupancy: interval_mean(
+                (cur.occupancy_sum, p.occupancy_sum),
+                (cur.occupancy_count, p.occupancy_count),
+            ),
+            llc_misses: interval_delta(cur.llc_misses, p.llc_misses),
+            llc_mpki: interval_per_kilo(
+                (cur.llc_misses, p.llc_misses),
+                (cur.instructions, p.instructions),
+            ),
             dx100_queue_depth,
         });
         self.prev = cur;

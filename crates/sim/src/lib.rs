@@ -42,6 +42,7 @@ pub mod system;
 pub use channel::ChannelStream;
 pub use config::{ObservabilityConfig, SystemConfig};
 pub use driver::{Driver, DriverStatus};
+pub use dx100_common::{Checkpoint, CheckpointError};
 pub use epoch::{EpochSample, EpochSampler};
 pub use stats::RunStats;
-pub use system::System;
+pub use system::{System, SystemCheckpoint};

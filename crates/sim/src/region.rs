@@ -21,7 +21,7 @@ enum State {
     Exclusive(usize),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Region {
     state: State,
     /// In-flight instructions currently pinning this region, per instance.
@@ -40,7 +40,7 @@ pub enum RegionGrant {
 }
 
 /// The inter-instance region directory.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RegionCoherence {
     regions: HashMap<Addr, Region>,
 }

@@ -30,7 +30,7 @@ enum DramOrigin {
 }
 
 /// Deferred driver-side effects executed when a core's MMIO store lands.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum MmioAction {
     PushInstr {
         engine: usize,
@@ -60,7 +60,7 @@ const PAGE_SHIFT: u32 = 12;
 /// must apply in device order: an instruction stalled on region
 /// acquisition snapshots its scalar registers at delivery, so a younger
 /// register write overtaking it would corrupt the snapshot.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum PendingMmio {
     Instr {
         instr: Instruction,
@@ -817,6 +817,121 @@ impl System {
             epochs: Vec::new(),
             trace: None,
         }
+    }
+}
+
+/// Complete saved state of a [`System`], sufficient to resume simulation
+/// exactly where it left off. `Send`, so one checkpoint can be restored
+/// into many per-thread `System` instances for parallel interval replay.
+pub struct SystemCheckpoint {
+    clock: Cycle,
+    cores: Vec<dx100_cpu::CoreState>,
+    channels: Vec<Vec<crate::channel::SegmentState>>,
+    hier: MemoryHierarchy,
+    dram: DramSystem,
+    engines: Vec<Dx100Engine>,
+    dmp: Option<Dmp>,
+    flags: FlagBoard,
+    image: MemoryImage,
+    actions: Vec<Option<MmioAction>>,
+    dram_pending: HashMap<ReqId, DramOrigin>,
+    next_dram_id: ReqId,
+    dram_retry: VecDeque<(MemRequest, DramOrigin)>,
+    spd_fills: DelayQueue<LineAddr>,
+    region: RegionCoherence,
+    host_pages: HashSet<u64>,
+    instr_delivery: Vec<VecDeque<PendingMmio>>,
+    region_pins: HashMap<(usize, u64), Addr>,
+    roi_start: Cycle,
+    roi_snapshot: Option<RunStats>,
+    sampler: Option<EpochSampler>,
+}
+
+impl SystemCheckpoint {
+    /// Cycle at which this checkpoint was taken.
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+}
+
+/// Compile-time proof that checkpoints can cross replay-thread boundaries
+/// (and be shared from behind an `Arc` by many workers at once).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemCheckpoint>();
+};
+
+impl dx100_common::Checkpoint for System {
+    type State = SystemCheckpoint;
+
+    /// Snapshots the whole machine. Core-side op streams are *not* captured
+    /// from the cores themselves (their stream is the shared channel); the
+    /// channel contents are saved separately and re-wired on restore.
+    fn save(&self) -> Result<SystemCheckpoint, dx100_common::CheckpointError> {
+        Ok(SystemCheckpoint {
+            clock: self.clock,
+            cores: self
+                .cores
+                .iter()
+                .map(|c| c.save_state(false))
+                .collect::<Result<_, _>>()?,
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| ch.0.borrow().save_segments())
+                .collect::<Result<_, _>>()?,
+            hier: self.hier.clone(),
+            dram: self.dram.clone(),
+            engines: self.engines.clone(),
+            dmp: self.dmp.clone(),
+            flags: self.flags.clone(),
+            image: self.image.clone(),
+            actions: self.actions.clone(),
+            dram_pending: self.dram_pending.clone(),
+            next_dram_id: self.next_dram_id,
+            dram_retry: self.dram_retry.clone(),
+            spd_fills: self.spd_fills.clone(),
+            region: self.region.clone(),
+            host_pages: self.host_pages.clone(),
+            instr_delivery: self.instr_delivery.clone(),
+            region_pins: self.region_pins.clone(),
+            roi_start: self.roi_start,
+            roi_snapshot: self.roi_snapshot.clone(),
+            sampler: self.sampler.clone(),
+        })
+    }
+
+    /// Restores a checkpoint into this system. The system must have been
+    /// built with an equivalent [`SystemConfig`]; its own configuration and
+    /// trace root are kept, everything else is overwritten. Cores keep the
+    /// channel handles they were constructed with — only the channels'
+    /// queued contents are replaced.
+    fn restore(&mut self, s: &SystemCheckpoint) {
+        self.clock = s.clock;
+        for (core, cs) in self.cores.iter_mut().zip(&s.cores) {
+            core.restore_state(cs);
+        }
+        for (ch, segs) in self.channels.iter().zip(&s.channels) {
+            ch.0.borrow_mut().restore_segments(segs);
+        }
+        self.hier = s.hier.clone();
+        self.dram = s.dram.clone();
+        self.engines = s.engines.clone();
+        self.dmp = s.dmp.clone();
+        self.flags = s.flags.clone();
+        self.image = s.image.clone();
+        self.actions = s.actions.clone();
+        self.dram_pending = s.dram_pending.clone();
+        self.next_dram_id = s.next_dram_id;
+        self.dram_retry = s.dram_retry.clone();
+        self.spd_fills = s.spd_fills.clone();
+        self.region = s.region.clone();
+        self.host_pages = s.host_pages.clone();
+        self.instr_delivery = s.instr_delivery.clone();
+        self.region_pins = s.region_pins.clone();
+        self.roi_start = s.roi_start;
+        self.roi_snapshot = s.roi_snapshot.clone();
+        self.sampler = s.sampler.clone();
     }
 }
 

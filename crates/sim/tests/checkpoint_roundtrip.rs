@@ -1,0 +1,218 @@
+//! Property tests for whole-[`System`] checkpoint round-trips.
+//!
+//! Over random gather workloads (baseline, DMP, and DX100 machines alike),
+//! random memory footprints, and a random mid-run checkpoint cycle:
+//!   1. Taking a checkpoint mid-run must not perturb the run.
+//!   2. Restoring it into a *fresh* system and resuming must reproduce the
+//!      uninterrupted run's final statistics exactly — cores, caches, DRAM,
+//!      accelerator, and prefetcher counters included.
+//!   3. Restore is deterministic: two systems restored from one checkpoint
+//!      finish with identical statistics and identical trace events.
+
+use dx100_common::{Checkpoint, Cycle, DType};
+use dx100_core::isa::{Instruction, RegId, TileId};
+use dx100_core::{ArrayHandle, MemoryImage};
+use dx100_cpu::CoreOp;
+use dx100_prefetch::IndirectPattern;
+use dx100_sim::{Driver, DriverStatus, RunStats, System, SystemCheckpoint, SystemConfig};
+use proptest::prelude::*;
+
+const T0: TileId = TileId::new(0);
+const T1: TileId = TileId::new(1);
+const R0: RegId = RegId::new(0);
+const R1: RegId = RegId::new(1);
+const R2: RegId = RegId::new(2);
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Machine {
+    Baseline,
+    Dmp,
+    Dx100,
+}
+
+struct Workload {
+    image: MemoryImage,
+    a: ArrayHandle,
+    b: ArrayHandle,
+    n: u64,
+}
+
+fn make_workload(n: u64, a_len: u64, mult: u64) -> Workload {
+    let mut image = MemoryImage::new();
+    let a = image.alloc("A", DType::U32, a_len);
+    let b = image.alloc("B", DType::U32, n);
+    for i in 0..a_len {
+        image.write_elem(a, i, (i * 7 + 3) & 0xffff);
+    }
+    for i in 0..n {
+        image.write_elem(b, i, i.wrapping_mul(mult) % a_len);
+    }
+    Workload { image, a, b, n }
+}
+
+/// Sets the workload up on first poll, optionally checkpoints at `save_at`,
+/// then lets the drain loop finish the run.
+struct TestDriver {
+    machine: Machine,
+    a: ArrayHandle,
+    b: ArrayHandle,
+    n: u64,
+    save_at: Option<Cycle>,
+    saved: Option<SystemCheckpoint>,
+    started: bool,
+}
+
+impl TestDriver {
+    fn new(machine: Machine, w: &Workload, save_at: Option<Cycle>) -> Self {
+        TestDriver {
+            machine,
+            a: w.a,
+            b: w.b,
+            n: w.n,
+            save_at,
+            saved: None,
+            started: false,
+        }
+    }
+
+    /// A driver that only resumes a restored system (no setup, no save).
+    fn resume_only(machine: Machine, w: &Workload) -> Self {
+        let mut d = TestDriver::new(machine, w, None);
+        d.started = true;
+        d
+    }
+}
+
+impl Driver for TestDriver {
+    fn poll(&mut self, sys: &mut System) -> DriverStatus {
+        if !self.started {
+            self.started = true;
+            sys.roi_begin();
+            match self.machine {
+                Machine::Dx100 => {
+                    let f = sys.alloc_flag();
+                    sys.send_reg_write(0, R0, 0);
+                    sys.send_reg_write(0, R1, 1);
+                    sys.send_reg_write(0, R2, self.n);
+                    sys.send_instruction(
+                        0,
+                        Instruction::sld(DType::U32, self.b.base(), T0, R0, R1, R2),
+                        None,
+                    );
+                    let ild = Instruction::ild(DType::U32, self.a.base(), T1, T0);
+                    sys.send_instruction(0, ild, Some(f));
+                    sys.push_wait(0, f, false);
+                }
+                Machine::Baseline | Machine::Dmp => {
+                    let cores = sys.num_cores();
+                    for c in 0..cores {
+                        let chunk = self.n / cores as u64;
+                        let (lo, hi) =
+                            (c as u64 * chunk, ((c as u64 + 1) * chunk).min(self.n));
+                        let mut ops = Vec::new();
+                        for i in lo..hi {
+                            let idx = sys.image_ref().read_elem(self.b, i);
+                            ops.push(CoreOp::load(self.b.addr_of(i), 1));
+                            ops.push(CoreOp::alu().with_dep(1));
+                            ops.push(CoreOp::Load {
+                                addr: self.a.addr_of(idx),
+                                stream: 2,
+                                dep: [1, 0],
+                            });
+                        }
+                        sys.push_ops(c, ops);
+                    }
+                }
+            }
+            return DriverStatus::Running;
+        }
+        match self.save_at {
+            Some(at) if self.saved.is_none() => {
+                if sys.now() >= at {
+                    self.saved = Some(sys.save().expect("mid-run checkpoint must succeed"));
+                    DriverStatus::Done
+                } else {
+                    DriverStatus::Running
+                }
+            }
+            _ => DriverStatus::Done,
+        }
+    }
+}
+
+fn build_system(machine: Machine, w: Workload, trace: bool) -> System {
+    let mut cfg = match machine {
+        Machine::Baseline => SystemConfig::paper_baseline(),
+        Machine::Dmp => SystemConfig::paper_dmp(),
+        Machine::Dx100 => SystemConfig::paper_dx100(),
+    };
+    cfg.obs.trace = trace;
+    let (a, b, n) = (w.a, w.b, w.n);
+    let mut sys = System::new(cfg, w.image);
+    if machine == Machine::Dmp {
+        if let Some(dmp) = sys.dmp_mut() {
+            dmp.add_pattern(IndirectPattern::simple(
+                b.base(),
+                n,
+                DType::U32,
+                a.base(),
+                DType::U32,
+            ));
+        }
+    }
+    sys
+}
+
+/// Every counter that feeds the figures, as one comparable string (the
+/// trace and epoch series are compared separately where applicable).
+fn summary(s: &RunStats) -> String {
+    format!(
+        "cycles={} instr={} core={:?} dram={:?} ch={} hier={:?} dx={:?} dmp={}",
+        s.cycles, s.instructions, s.core, s.dram, s.dram_channels, s.hierarchy, s.dx100,
+        s.dmp_prefetches
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mid_run_checkpoint_restores_into_identical_run(
+        machine in proptest::sample::select(vec![Machine::Baseline, Machine::Dmp, Machine::Dx100]),
+        n in 64u64..512,
+        a_len_kb in 1u64..16,
+        mult in proptest::sample::select(vec![1u64, 7, 2654435761, 0x9E3779B9]),
+        frac_pct in 1u64..100,
+    ) {
+        let a_len = a_len_kb * 1024;
+
+        // Uninterrupted reference.
+        let w = make_workload(n, a_len, mult);
+        let mut sys = build_system(machine, w, false);
+        let w = make_workload(n, a_len, mult);
+        let ref_stats = sys.run(&mut TestDriver::new(machine, &w, None));
+
+        // Interrupted run: checkpoint at cycle k, keep running.
+        let k = ref_stats.cycles * frac_pct / 100;
+        let mut sys = build_system(machine, make_workload(n, a_len, mult), false);
+        let mut driver = TestDriver::new(machine, &w, Some(k));
+        let stats_a = sys.run(&mut driver);
+        let ck = driver.saved.expect("driver saved a checkpoint");
+        prop_assert_eq!(summary(&stats_a), summary(&ref_stats));
+
+        // Restore into two fresh systems (tracing on) and resume both.
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            let mut sys = build_system(machine, make_workload(n, a_len, mult), true);
+            sys.restore(&ck);
+            let stats = sys.run(&mut TestDriver::resume_only(machine, &w));
+            outs.push(stats);
+        }
+        let (stats_b, stats_c) = (&outs[0], &outs[1]);
+        prop_assert_eq!(summary(stats_b), summary(&ref_stats));
+        prop_assert_eq!(summary(stats_c), summary(&ref_stats));
+        let (tb, tc) = (stats_b.trace.as_ref().unwrap(), stats_c.trace.as_ref().unwrap());
+        prop_assert_eq!(tb.events(), tc.events());
+        prop_assert_eq!(tb.tracks(), tc.tracks());
+    }
+}

@@ -29,6 +29,21 @@ impl RunningAverage {
         self.count += 1;
     }
 
+    /// Adds the same sample `n` times in one step.
+    ///
+    /// Bit-identical to `n` repeated [`sample`](Self::sample) calls provided
+    /// `v` and every previously recorded sample lie on a common dyadic grid
+    /// (integers, or fractions with a power-of-two denominator) and the sum
+    /// stays below 2^53 grid units — true for all occupancy counters in this
+    /// workspace, which sample integer queue depths or k/2^m fractions.
+    /// Cycle-skipping relies on this to credit idle spans without replaying
+    /// each cycle.
+    #[inline]
+    pub fn sample_n(&mut self, v: f64, n: u64) {
+        self.sum += v * n as f64;
+        self.count += n;
+    }
+
     /// Mean of all samples, or 0 if none were recorded.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

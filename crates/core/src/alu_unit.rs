@@ -47,6 +47,28 @@ impl AluUnit {
         self.queue.is_empty()
     }
 
+    /// Whether the next `step` would be a pure no-op given frozen scratchpad
+    /// state (used by the engine's quiescence check).
+    pub fn quiescent(&self, spd: &Scratchpad) -> bool {
+        let Some(job) = self.queue.front() else {
+            return true;
+        };
+        let (ts1, ts2, tc) = match job.d.instr {
+            Instruction::Aluv { ts1, ts2, tc, .. } => (ts1, Some(ts2), tc),
+            Instruction::Alus { ts, tc, .. } => (ts, None, tc),
+            _ => return false,
+        };
+        match job.n {
+            // Sizing waits only while a source length is unknown.
+            None => {
+                spd.tile(ts1).len().is_none()
+                    || ts2.is_some_and(|t| spd.tile(t).len().is_none())
+            }
+            // Chained execution waits only on an unfinished source element.
+            Some(n) => job.next < n && !sources_finished(spd, job.next, ts1, ts2, tc),
+        }
+    }
+
     /// Processes up to `lanes` elements of the head job. Returns the handle
     /// of a job that finished this cycle.
     ///

@@ -93,6 +93,14 @@ impl Controller {
         })
     }
 
+    /// Whether the queue head could dispatch right now (non-mutating probe
+    /// used by the engine's quiescence check).
+    pub fn dispatchable(&self) -> bool {
+        self.queue
+            .front()
+            .is_some_and(|head| self.can_dispatch(&head.instr))
+    }
+
     /// Dispatches the queue head if the scoreboard allows. Returns the
     /// instruction to hand to its unit.
     pub fn try_dispatch(&mut self) -> Option<DispatchedInstr> {

@@ -328,6 +328,69 @@ impl Dx100Engine {
         self.halted
     }
 
+    /// Whether the next `tick` would change no state other than re-running
+    /// the phase-span trace update with frozen counters (which
+    /// [`Self::credit_idle_span`] replays exactly for a skipped span).
+    pub fn quiescent(&self, now: Cycle) -> bool {
+        if self.halted.is_some() {
+            return true; // tick returns immediately
+        }
+        self.resp_inbox.is_empty()
+            && self.retired.is_empty()
+            && !self.controller.dispatchable()
+            && self.stream.quiescent(&self.spd)
+            && self.indirect.quiescent(now, &self.spd)
+            && self.alu.quiescent(&self.spd)
+            && self.range.quiescent(&self.spd)
+    }
+
+    /// Earliest cycle ≥ `now` at which `tick` might not be a pure no-op, or
+    /// `None` when the engine wakes only on external input (a memory
+    /// response or a newly received instruction).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.halted.is_some() {
+            return None;
+        }
+        if !self.quiescent(now) {
+            return Some(now);
+        }
+        self.indirect.next_time_event(now)
+    }
+
+    /// Replays the per-tick phase-span trace update for a quiescent span
+    /// `[from, to)`. With frozen counters the update is edge-triggered: the
+    /// first tick may open or close spans (counter deltas versus the last
+    /// active tick), and every later tick sees zero deltas — so one update
+    /// at `from` plus one at `from + 1` reproduces the whole span.
+    pub fn credit_idle_span(&mut self, from: Cycle, to: Cycle) {
+        if self.halted.is_some() {
+            return;
+        }
+        let Some(t) = self.trace.clone() else {
+            return;
+        };
+        let cur = [
+            self.stats.snoop_hits + self.stats.snoop_misses,
+            self.stats.indirect_line_reads + self.stats.indirect_line_writes,
+        ];
+        let drain = self.indirect.pending_responses() > 0;
+        let first = [
+            cur[0] > self.prev_phase_counts[0],
+            cur[1] > self.prev_phase_counts[1],
+            drain,
+        ];
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            self.phase_spans[i].update(first[i], from, &t, "dx100", name);
+        }
+        self.prev_phase_counts = cur;
+        if to > from + 1 {
+            let rest = [false, false, drain];
+            for (i, name) in PHASE_NAMES.iter().enumerate() {
+                self.phase_spans[i].update(rest[i], from + 1, &t, "dx100", name);
+            }
+        }
+    }
+
     /// Advances one CPU cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut MemoryImage, ports: &mut dyn MemPorts) {
         if self.halted.is_some() {

@@ -234,6 +234,95 @@ impl IndirectUnit {
         self.resp_queue.push_back(id);
     }
 
+    /// Whether the next tick's `fill_step` / `request_step` / `response_step`
+    /// / `poll_retired` sequence would be a pure no-op given frozen
+    /// scratchpad, response, and DRAM state (the engine's quiescence check).
+    ///
+    /// Conservative: anything the tick might mutate — TLB lookup counters,
+    /// Row-Table stall stats, request ids consumed on refused DRAM requests,
+    /// a stale active-row rotation — classifies as active.
+    pub fn quiescent(&self, now: Cycle, spd: &Scratchpad) -> bool {
+        if !self.resp_queue.is_empty() || !self.pending_writes.is_empty() {
+            return false;
+        }
+        // poll_retired pops completed head jobs.
+        if self.jobs.front().is_some_and(|j| j.done()) {
+            return false;
+        }
+        self.fill_quiescent(now, spd) && self.request_quiescent()
+    }
+
+    /// The unit's only self-timed wakeup: expiry of the TLB-miss backoff,
+    /// when a job still has elements to fill behind it.
+    pub fn next_time_event(&self, now: Cycle) -> Option<Cycle> {
+        (now < self.fill_stall_until && self.jobs.iter().any(|j| !j.fill_done))
+            .then_some(self.fill_stall_until)
+    }
+
+    /// Whether `fill_step` would return without mutating anything.
+    fn fill_quiescent(&self, now: Cycle, spd: &Scratchpad) -> bool {
+        if now < self.fill_stall_until {
+            return true; // TLB-miss backoff window
+        }
+        let Some(job) = self.jobs.iter().find(|j| !j.fill_done) else {
+            return true; // every job has filled
+        };
+        let Some(n) = job.n else {
+            // Sizing waits only while the index tile length is unknown.
+            return spd.tile(job.ts1).len().is_none();
+        };
+        if job.next >= n {
+            return false; // would mark the job fill-done
+        }
+        let i = job.next;
+        // Chained on unfinished index / condition / store-value elements:
+        // these gates sit before the TLB lookup, so the tick stays pure.
+        if !spd.tile(job.ts1).finished(i) {
+            return true;
+        }
+        if job.tc.is_some_and(|c| !spd.tile(c).finished(i)) {
+            return true;
+        }
+        let value_tile = match job.kind {
+            IndKind::Store { ts2 } | IndKind::Rmw { ts2, .. } => Some(ts2),
+            IndKind::Load { .. } => None,
+        };
+        if value_tile.is_some_and(|t| !spd.tile(t).finished(i)) {
+            return true;
+        }
+        // All gates pass: the tick would at least touch the TLB (and may
+        // count a Row-Table stall), so it is not a no-op.
+        false
+    }
+
+    /// Whether `request_step` would return without mutating anything. The
+    /// caller has established `pending_writes` is empty (a pending write
+    /// consumes a request id every tick, even when DRAM refuses it).
+    fn request_quiescent(&self) -> bool {
+        if self.outstanding.len() >= self.cfg.indirect_max_inflight {
+            return true; // in-flight cap: pure structural stall
+        }
+        if !self.cfg.reorder {
+            // Insertion order: quiescent only while the head column exists
+            // and is not yet sendable (a sent or stale head would be popped).
+            return match self.fifo.front() {
+                None => true,
+                Some(&(slice_idx, _, col_id)) => self
+                    .col_by_id(slice_idx, col_id)
+                    .is_some_and(|c| !c.sent && !c.sendable),
+            };
+        }
+        // Reorder mode: `pick_in_slice` clears a stale active row (a
+        // mutation), so quiescence needs every slice settled with nothing
+        // sendable left unsent.
+        self.slices.iter().all(|s| {
+            s.active_row.is_none()
+                && s.rows
+                    .iter()
+                    .all(|r| r.cols.iter().all(|c| c.sent || !c.sendable))
+        })
+    }
+
     /// Requests still draining: in-flight reads/writes plus responses queued
     /// for the Word Modifier (drives the `drain` trace phase).
     pub fn pending_responses(&self) -> usize {

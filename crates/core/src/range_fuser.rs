@@ -53,6 +53,28 @@ impl RangeFuser {
         self.queue.is_empty()
     }
 
+    /// Whether the next `step` would be a pure no-op given frozen scratchpad
+    /// state (used by the engine's quiescence check).
+    pub fn quiescent(&self, spd: &Scratchpad) -> bool {
+        let Some(job) = self.queue.front() else {
+            return true;
+        };
+        let Instruction::Rng { ts1, ts2, tc, .. } = job.d.instr else {
+            return false;
+        };
+        match job.n {
+            // Sizing waits only while a bound tile length is unknown.
+            None => spd.tile(ts1).len().is_none() || spd.tile(ts2).len().is_none(),
+            // Emission waits only on unfinished bound/condition elements.
+            Some(n) => {
+                job.k < n
+                    && (!spd.tile(ts1).finished(job.k)
+                        || !spd.tile(ts2).finished(job.k)
+                        || tc.is_some_and(|c| !spd.tile(c).finished(job.k)))
+            }
+        }
+    }
+
     /// Emits up to `rate` fused elements. Returns the handle of a job that
     /// finished this cycle.
     ///

@@ -105,6 +105,55 @@ impl StreamUnit {
         self.queue.is_empty() && self.outstanding.is_empty()
     }
 
+    /// Whether the next `step` would be a pure no-op given frozen scratchpad
+    /// and response state (used by the engine's quiescence check).
+    pub fn quiescent(&self, spd: &Scratchpad) -> bool {
+        let Some(job) = self.queue.front() else {
+            return true;
+        };
+        if !job.sized {
+            return false; // step would size the destination tile
+        }
+        let (dtype, base, td, ts, tc) = job.fields();
+        let count = job.count();
+        if job.next >= count {
+            // Only the final write flush (or retirement) remains.
+            if job.current_write.is_some() {
+                return self.outstanding.len() >= self.table_cap;
+            }
+            return !job.done();
+        }
+        let i = job.next;
+        if tc.is_some_and(|c| !spd.tile(c).finished(i)) {
+            return true; // chained on an unfinished condition element
+        }
+        if let Some(ts) = ts {
+            if !spd.tile(ts).finished(i) {
+                return true; // chained on an unfinished store value
+            }
+        }
+        if tc.is_some_and(|c| spd.tile(c).get(i) == 0) {
+            return false; // step would record a condition skip
+        }
+        let addr = base + (job.d.r1 + i as u64 * job.d.r2) * dtype.size_bytes();
+        let line = LineAddr::containing(addr);
+        match (td, ts) {
+            // Load: coalescing onto an in-flight line is progress; otherwise
+            // only a full Request Table blocks the element.
+            (Some(_), None) => {
+                !self.inflight_lines.contains_key(&line)
+                    && self.outstanding.len() >= self.table_cap
+            }
+            // Store: a full table blocks only the flush of a completed line;
+            // composing onto the current line is always progress.
+            (None, Some(_)) => {
+                job.current_write.as_ref().is_some_and(|(l, _)| *l != line)
+                    && self.outstanding.len() >= self.table_cap
+            }
+            _ => false,
+        }
+    }
+
     /// Processes up to `rate` elements of the head job.
     pub fn step(
         &mut self,

@@ -95,6 +95,39 @@ pub struct Core {
 /// Stall reasons traced per core, in `stall_spans` order.
 const STALL_NAMES: [&str; 4] = ["rob_full", "lq_full", "sq_full", "fence"];
 
+/// What the dispatch stage of a quiescent core does each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchIdle {
+    /// Blocked on an unset flag; spin-polling if `spin`.
+    Wait { spin: bool },
+    /// A `SetFlag` fence at the head waiting for the ROB to drain.
+    Fence,
+    RobFull,
+    LqFull,
+    SqFull,
+    /// Nothing to dispatch (stream exhausted or channel empty).
+    Empty,
+}
+
+/// What the issue stage of a quiescent core does each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueIdle {
+    /// Serialized behind an atomic (in flight, or at the head of the ready
+    /// queue with other memory ops outstanding).
+    Fence,
+    /// Nothing issuable.
+    Empty,
+}
+
+/// Per-cycle effect of a quiescent (stall-only) core tick: which stat
+/// counters advance, with no architectural state change. Constant over a
+/// whole idle span, which is what lets the span be credited in bulk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IdleClass {
+    dispatch: DispatchIdle,
+    issue: IssueIdle,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct WaitState {
     flag: FlagId,
@@ -324,6 +357,12 @@ impl Core {
         std::mem::take(&mut self.mmio_signals)
     }
 
+    /// Whether completed-MMIO signals await draining by the system glue
+    /// (forbids cycle skipping: the drain is due this very cycle).
+    pub fn has_mmio_signals(&self) -> bool {
+        !self.mmio_signals.is_empty()
+    }
+
     /// Delivers a memory completion for the op with sequence number `seq`.
     pub fn mem_complete(&mut self, seq: u64, now: Cycle) {
         let Some(entry) = self.entry_mut(seq) else {
@@ -453,6 +492,153 @@ impl Core {
             ];
             for (i, name) in STALL_NAMES.iter().enumerate() {
                 self.stall_spans[i].update(cur[i] > self.prev_stalls[i], now, &t, "stall", name);
+            }
+            self.prev_stalls = cur;
+        }
+    }
+
+    /// Classifies this cycle as quiescent (returns what each stage's stall
+    /// counters do) or active (`None`: the tick would change architectural
+    /// state — complete, retire, dispatch, or issue something).
+    ///
+    /// Mirrors [`Core::tick`]'s control flow exactly: every `return`ing stall
+    /// path in `dispatch` maps to a [`DispatchIdle`] variant and every
+    /// `break`ing stall path in the issue loop to an [`IssueIdle`] variant.
+    /// While the core's inputs are frozen (no flag set, no completion, no
+    /// stream refill), the classification is constant from cycle to cycle.
+    fn idle_class(&mut self, now: Cycle, flags: &FlagBoard) -> Option<IdleClass> {
+        debug_assert!(!self.is_done());
+        if let Some(t) = self.internal_done.next_ready_at() {
+            if t <= now {
+                return None;
+            }
+        }
+        if matches!(self.rob.front(), Some(e) if e.state == EntryState::Complete) {
+            return None;
+        }
+        let dispatch = if let Some(w) = self.waiting_flag {
+            if flags.get(w.flag) {
+                return None;
+            }
+            DispatchIdle::Wait { spin: w.spin }
+        } else if let Some(op) = self.peek_op() {
+            match op {
+                CoreOp::WaitFlag { .. } => return None,
+                CoreOp::SetFlag { .. } => {
+                    if self.rob.is_empty() {
+                        return None;
+                    }
+                    DispatchIdle::Fence
+                }
+                _ if self.rob.len() >= self.cfg.rob => DispatchIdle::RobFull,
+                CoreOp::Load { .. } if self.lq_used >= self.cfg.lq => DispatchIdle::LqFull,
+                CoreOp::Store { .. } if self.sq_used >= self.cfg.sq => DispatchIdle::SqFull,
+                CoreOp::AtomicRmw { .. }
+                    if self.lq_used >= self.cfg.lq || self.sq_used >= self.cfg.sq =>
+                {
+                    DispatchIdle::LqFull
+                }
+                CoreOp::Mmio { .. } if self.sq_used >= self.cfg.sq => DispatchIdle::SqFull,
+                _ => return None,
+            }
+        } else {
+            DispatchIdle::Empty
+        };
+        let issue = if self.atomic_pending {
+            IssueIdle::Fence
+        } else if let Some(&seq) = self.ready_mem.front() {
+            let is_atomic = matches!(
+                self.entry_mut(seq).map(|e| e.kind),
+                Some(EntryKind::Atomic { .. })
+            );
+            if is_atomic && self.mem_inflight > 0 {
+                IssueIdle::Fence
+            } else {
+                return None;
+            }
+        } else {
+            IssueIdle::Empty
+        };
+        Some(IdleClass { dispatch, issue })
+    }
+
+    /// Earliest cycle ≥ `now` at which [`Core::tick`] might change
+    /// architectural state, assuming no external input (flag set, memory
+    /// completion, stream refill) arrives — external wakeups come from
+    /// components that are themselves active, which ends any skip. `None`
+    /// means the core is inert until such input: its only self-timed wakeup
+    /// source is the internal completion queue.
+    pub fn next_event(&mut self, now: Cycle, flags: &FlagBoard) -> Option<Cycle> {
+        if self.is_done() {
+            return None;
+        }
+        if self.idle_class(now, flags).is_none() {
+            return Some(now);
+        }
+        self.internal_done.next_ready_at()
+    }
+
+    /// Credits the stall-only cycles `[from, to)` in bulk: bit-identical to
+    /// calling [`Core::tick`] once per cycle while [`Core::idle_class`] holds
+    /// (which the caller guarantees by only skipping spans certified by
+    /// [`Core::next_event`] across *all* components).
+    pub fn credit_idle_span(&mut self, from: Cycle, to: Cycle, flags: &FlagBoard) {
+        if self.is_done() || from >= to {
+            return;
+        }
+        let n = to - from;
+        let class = self
+            .idle_class(from, flags)
+            .expect("credit_idle_span requires a quiescent core");
+        self.stats.cycles += n;
+        match class.dispatch {
+            DispatchIdle::Wait { spin } => {
+                self.stats.wait_cycles += n;
+                if spin {
+                    if let Some(w) = self.waiting_flag {
+                        // Replay the spin polls: one at p0 = max(from,
+                        // next_poll_at), then every poll_interval cycles.
+                        let p0 = w.next_poll_at.max(from);
+                        if p0 < to {
+                            let interval = self.cfg.poll_interval;
+                            let (k, next_poll_at) = if interval == 0 {
+                                (to - p0, to - 1)
+                            } else {
+                                let k = (to - 1 - p0) / interval + 1;
+                                (k, p0 + k * interval)
+                            };
+                            let instrs = k * self.cfg.spin_instructions_per_poll;
+                            self.stats.instructions += instrs;
+                            self.stats.spin_instructions += instrs;
+                            self.waiting_flag = Some(WaitState { next_poll_at, ..w });
+                        }
+                    }
+                }
+            }
+            DispatchIdle::Fence => self.stats.stall_fence += n,
+            DispatchIdle::RobFull => self.stats.stall_rob_full += n,
+            DispatchIdle::LqFull => self.stats.stall_lq_full += n,
+            DispatchIdle::SqFull => self.stats.stall_sq_full += n,
+            DispatchIdle::Empty => {}
+        }
+        match class.issue {
+            IssueIdle::Fence => self.stats.stall_fence += n,
+            IssueIdle::Empty => {}
+        }
+        self.stats.rob_occupancy.sample_n(self.rob.len() as f64, n);
+        self.stats.lq_occupancy.sample_n(self.lq_used as f64, n);
+        // Span tracking: the per-reason increment pattern is constant over
+        // the span, so one edge-triggered update at `from` reproduces what
+        // per-cycle updates would have done.
+        if let Some(t) = self.trace.clone() {
+            let cur = [
+                self.stats.stall_rob_full,
+                self.stats.stall_lq_full,
+                self.stats.stall_sq_full,
+                self.stats.stall_fence,
+            ];
+            for (i, name) in STALL_NAMES.iter().enumerate() {
+                self.stall_spans[i].update(cur[i] > self.prev_stalls[i], from, &t, "stall", name);
             }
             self.prev_stalls = cur;
         }

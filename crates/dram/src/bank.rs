@@ -25,6 +25,21 @@ impl Bank {
         self.open_row
     }
 
+    /// Earliest tick an ACT may issue (assuming the bank is closed by then).
+    pub fn act_ready_at(&self) -> Cycle {
+        self.act_ready_at
+    }
+
+    /// Earliest tick a RD/WR may issue to the open row.
+    pub fn cas_ready_at(&self) -> Cycle {
+        self.cas_ready_at
+    }
+
+    /// Earliest tick a PRE may issue to the open row.
+    pub fn pre_ready_at(&self) -> Cycle {
+        self.pre_ready_at
+    }
+
     /// Whether an ACT may issue at `now` (bank must be closed).
     pub fn can_act(&self, now: Cycle) -> bool {
         self.open_row.is_none() && now >= self.act_ready_at

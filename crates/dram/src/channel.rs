@@ -110,6 +110,45 @@ impl Channel {
         self.banks[bank_idx].can_cas(row, now) && now >= self.cas_channel_ready_at(bank_group, is_write)
     }
 
+    /// Whether channel-level constraints alone (tCCD, turnaround, data bus)
+    /// allow a CAS to `bank_group` at `now`. Bank-level state is *not*
+    /// checked; the FR-FCFS scan pairs this with a per-bank readiness index.
+    pub fn cas_channel_ready(&self, bank_group: usize, is_write: bool, now: Cycle) -> bool {
+        now >= self.cas_channel_ready_at(bank_group, is_write)
+    }
+
+    /// Earliest tick a CAS may issue to (`bank_idx`, `bank_group`), assuming
+    /// the target row is already open. Channel state is taken as frozen: the
+    /// bound is only valid while no intervening command issues.
+    pub fn cas_ready_tick(&self, bank_idx: usize, bank_group: usize, is_write: bool) -> Cycle {
+        self.banks[bank_idx]
+            .cas_ready_at()
+            .max(self.cas_channel_ready_at(bank_group, is_write))
+    }
+
+    /// Earliest tick an ACT may issue to (`bank_idx`, `rank`, `bank_group`),
+    /// assuming the bank is (and stays) closed. Channel state is taken as
+    /// frozen, as for [`Channel::cas_ready_tick`].
+    pub fn act_ready_tick(&self, bank_idx: usize, rank: usize, bank_group: usize) -> Cycle {
+        let t = &self.config.timings;
+        let mut ready = self.banks[bank_idx].act_ready_at();
+        if let Some((last, last_bg)) = self.last_act[rank] {
+            let rrd = if last_bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
+            ready = ready.max(last + rrd);
+        }
+        let window = &self.act_window[rank];
+        if window.len() >= 4 {
+            ready = ready.max(window[window.len() - 4] + t.t_faw);
+        }
+        ready
+    }
+
+    /// Earliest tick a PRE may issue to `bank_idx`, assuming its row stays
+    /// open until then.
+    pub fn pre_ready_tick(&self, bank_idx: usize) -> Cycle {
+        self.banks[bank_idx].pre_ready_at()
+    }
+
     /// Issues a CAS; returns the tick at which the data burst completes
     /// (read data available / write data absorbed).
     ///

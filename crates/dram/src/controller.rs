@@ -192,13 +192,40 @@ impl ChannelController {
         starving: bool,
     ) -> bool {
         let limit = if starving { 1 } else { self.buffer.len() };
+        // Open-row index: one bit per bank whose open row is CAS-timing-ready
+        // at `now`. Most ticks under load have zero or few ready banks, so
+        // the per-request test collapses to a bitmask probe instead of
+        // re-deriving the full bank + channel timing chain per entry.
+        let mut bank_ready = 0u64;
+        for b in 0..self.channel.num_banks() {
+            let bank = self.channel.bank(b);
+            if bank.open_row().is_some() && now >= bank.cas_ready_at() {
+                bank_ready |= 1u64 << b;
+            }
+        }
+        if bank_ready == 0 {
+            return false;
+        }
+        // Channel-level readiness depends only on (bank group, direction);
+        // memoize it lazily across the scan.
+        let mut ch_ready = [[None::<bool>; 2]; 8];
         let mut chosen = None;
         'outer: for i in 0..limit {
             let p = &self.buffer[i];
-            if !self
-                .channel
-                .can_cas(p.bank_idx, p.coord.bank_group, p.coord.row, p.req.is_write, now)
+            if bank_ready & (1u64 << p.bank_idx) == 0
+                || self.channel.bank(p.bank_idx).open_row() != Some(p.coord.row)
             {
+                continue;
+            }
+            let dir = p.req.is_write as usize;
+            let ready = if p.coord.bank_group < ch_ready.len() {
+                *ch_ready[p.coord.bank_group][dir].get_or_insert_with(|| {
+                    self.channel.cas_channel_ready(p.coord.bank_group, p.req.is_write, now)
+                })
+            } else {
+                self.channel.cas_channel_ready(p.coord.bank_group, p.req.is_write, now)
+            };
+            if !ready {
                 continue;
             }
             // Never reorder conflicting accesses to the same line: an older
@@ -318,6 +345,83 @@ impl ChannelController {
             }
         }
         false
+    }
+
+    /// Earliest DRAM tick ≥ `from` at which [`ChannelController::tick`]
+    /// might do more than bookkeeping: deliver a completed read, start or
+    /// progress a refresh, or have some command become timing-legal.
+    ///
+    /// The bound is *conservative* (it may name a tick where nothing issues
+    /// after all — e.g. a PRE suppressed by the keep-row-open policy) but
+    /// never late: while the controller's state is frozen, no command can
+    /// become legal before the returned tick. Returning `Some(t) > from`
+    /// therefore certifies that every tick in `[from, t)` takes the
+    /// bookkeeping-only path, which [`ChannelController::credit_idle_ticks`]
+    /// reproduces exactly.
+    pub fn next_event(&self, from: Cycle) -> Option<Cycle> {
+        let mut ev: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            ev = Some(match ev {
+                Some(e) if e <= t => e,
+                _ => t,
+            })
+        };
+        if let Some(t) = self.in_flight.next_ready_at() {
+            consider(t);
+        }
+        // Mid-refresh the channel issues nothing until `refresh_until`; only
+        // response delivery can happen earlier.
+        if from < self.refresh_until {
+            consider(self.refresh_until);
+            return ev;
+        }
+        consider(self.next_refresh);
+        if from >= self.next_refresh {
+            // Refresh drain in progress: PREs may issue as banks allow.
+            // Treat as active now rather than modeling the drain schedule.
+            consider(from);
+            return ev;
+        }
+        if self.buffer.is_empty() {
+            return ev;
+        }
+        // Starvation onset switches the scheduler into oldest-first mode,
+        // which can unlock PREs the keep-row-open policy was suppressing.
+        let onset = self.buffer[0].arrived_at + self.config.starvation_threshold + 1;
+        if onset > from {
+            consider(onset);
+        }
+        // Per-request earliest command-legal tick, scanning the full buffer
+        // (a superset of the starving scan, so never late in either mode).
+        for p in &self.buffer {
+            match self.channel.bank(p.bank_idx).open_row() {
+                Some(row) if row == p.coord.row => consider(self.channel.cas_ready_tick(
+                    p.bank_idx,
+                    p.coord.bank_group,
+                    p.req.is_write,
+                )),
+                Some(_) => consider(self.channel.pre_ready_tick(p.bank_idx)),
+                None => consider(self.channel.act_ready_tick(
+                    p.bank_idx,
+                    p.coord.rank,
+                    p.coord.bank_group,
+                )),
+            }
+        }
+        ev
+    }
+
+    /// Credits `n` skipped ticks' worth of bookkeeping: bit-identical to `n`
+    /// [`ChannelController::tick`] calls that each took the bookkeeping-only
+    /// path. The derived counters (`data_busy_ticks`, `activates`,
+    /// `precharges`) are snapshots re-assigned on every real tick and cannot
+    /// move while no command issues, so they need no update here.
+    pub fn credit_idle_ticks(&mut self, n: u64) {
+        self.stats.ticks += n;
+        self.stats.occupancy.sample_n(
+            self.buffer.len() as f64 / self.config.request_buffer_size as f64,
+            n,
+        );
     }
 }
 

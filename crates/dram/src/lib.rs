@@ -183,6 +183,29 @@ impl DramSystem {
         self.responses.is_empty() && self.controllers.iter().all(|c| c.is_idle())
     }
 
+    /// Whether any completed response is waiting to be popped.
+    pub fn has_pending_responses(&self) -> bool {
+        !self.responses.is_empty()
+    }
+
+    /// Earliest DRAM tick ≥ `from` at which any channel might do more than
+    /// bookkeeping (see [`ChannelController::next_event`]). A pending
+    /// undelivered response makes the system active immediately.
+    pub fn next_event(&self, from: Cycle) -> Option<Cycle> {
+        if !self.responses.is_empty() {
+            return Some(from);
+        }
+        self.controllers.iter().filter_map(|c| c.next_event(from)).min()
+    }
+
+    /// Credits `n` skipped ticks of bookkeeping to every channel
+    /// (see [`ChannelController::credit_idle_ticks`]).
+    pub fn credit_idle_ticks(&mut self, n: u64) {
+        for c in &mut self.controllers {
+            c.credit_idle_ticks(n);
+        }
+    }
+
     /// Aggregate statistics across all channels.
     pub fn stats(&self) -> DramStats {
         let mut agg = DramStats::default();

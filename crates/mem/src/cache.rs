@@ -119,6 +119,17 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Earliest cycle ≥ `from` at which [`Cache::tick`] would process an
+    /// access: immediately while a retry is queued, else when the oldest
+    /// in-flight input matures. `None` means the tick is a no-op until new
+    /// work is [`Cache::accept`]ed or a fill arrives.
+    pub fn next_event(&self, from: Cycle) -> Option<Cycle> {
+        if !self.retry.is_empty() {
+            return Some(from);
+        }
+        self.input.next_ready_at()
+    }
+
     /// Processes up to `ports` ready accesses (retries first), producing
     /// hits and newly allocated misses.
     pub fn tick(&mut self, now: Cycle, out: &mut CacheOutputs) {

@@ -173,6 +173,28 @@ impl MemoryHierarchy {
             && self.l2.iter().all(|c| c.is_idle())
     }
 
+    /// Earliest cycle ≥ `from` at which [`MemoryHierarchy::tick`] would do
+    /// any work: deliver a link message, process a cache access or retry, or
+    /// hand back a buffered response. `None` means the hierarchy is fully
+    /// drained and will stay inert until new accesses are injected.
+    pub fn next_event(&self, from: Cycle) -> Option<Cycle> {
+        if !self.core_responses.is_empty() || !self.dx100_responses.is_empty() {
+            return Some(from);
+        }
+        let mut ev = self.links.next_ready_at();
+        let caches = self
+            .l1
+            .iter()
+            .chain(self.l2.iter())
+            .chain(std::iter::once(&self.llc));
+        for cache in caches {
+            if let Some(t) = cache.next_event(from) {
+                ev = Some(ev.map_or(t, |e: Cycle| e.min(t)));
+            }
+        }
+        ev
+    }
+
     /// Advances one CPU cycle. LLC misses and write-backs are appended to
     /// `to_dram`; the caller forwards them to the DRAM system and later calls
     /// [`MemoryHierarchy::dram_fill`] for each read once data returns.

@@ -194,6 +194,11 @@ impl Dmp {
         }
     }
 
+    /// Whether any queued prefetch awaits injection (quiescence probe).
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     /// Pops the next prefetch to inject `(core, line)`.
     pub fn pop_prefetch(&mut self) -> Option<(CoreId, LineAddr)> {
         let p = self.pending.pop_front();

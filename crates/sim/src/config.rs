@@ -60,6 +60,11 @@ pub struct SystemConfig {
     pub region_acquire_latency: u64,
     /// Hard simulation cap (guards against driver deadlocks).
     pub max_cycles: u64,
+    /// Event-driven cycle skipping: when every component is quiescent,
+    /// fast-forward the clock to the next event instead of ticking
+    /// cycle-by-cycle. Bit-identical results either way (differentially
+    /// tested); off only costs wall-clock time.
+    pub cycle_skip: bool,
     /// Event tracing and epoch sampling (off by default).
     pub obs: ObservabilityConfig,
 }
@@ -79,6 +84,7 @@ impl SystemConfig {
             cpu_cycles_per_dram_tick: 2,
             region_acquire_latency: 100,
             max_cycles: 200_000_000,
+            cycle_skip: true,
             obs: ObservabilityConfig::default(),
         }
     }

@@ -114,6 +114,12 @@ impl EpochSampler {
         now >= self.next_boundary
     }
 
+    /// The next epoch boundary cycle (cycle skips must not jump past it, so
+    /// samples land on the same boundaries as a cycle-by-cycle run).
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
+    }
+
     /// Record the interval ending at `now` from cumulative `stats`, then
     /// advance the boundary past `now`.
     pub fn sample(&mut self, now: u64, stats: &RunStats, dx100_queue_depth: u64) {

@@ -112,6 +112,20 @@ pub struct System {
     roi_snapshot: Option<RunStats>,
     issue_scratch: Vec<(CoreId, dx100_cpu::MemIssue)>,
     to_dram_scratch: Vec<DramBound>,
+    /// Write-backs evicted by DRAM/SPD fills, reused across cycles.
+    wb_scratch: Vec<DramBound>,
+    /// Read lines completed by DRAM this tick, reused across cycles.
+    fill_scratch: Vec<LineAddr>,
+    /// Telemetry: cycles elided by event-driven skipping. Deliberately not
+    /// part of [`RunStats`], which must stay bit-identical with skipping
+    /// off.
+    skipped_cycles: u64,
+    /// Telemetry: number of quiescent spans entered.
+    skip_events: u64,
+    /// Cached quiescence certificate: cycles before this one may be elided
+    /// without re-checking the machine. Invalidated by every driver-facing
+    /// mutation (see [`System::wake`]).
+    skip_until: Cycle,
     /// Root trace handle when tracing is on; components hold child handles.
     trace_root: Option<TraceHandle>,
     /// Epoch time-series sampler when epoch sampling is on.
@@ -180,6 +194,11 @@ impl System {
             roi_snapshot: None,
             issue_scratch: Vec::new(),
             to_dram_scratch: Vec::new(),
+            wb_scratch: Vec::new(),
+            fill_scratch: Vec::new(),
+            skipped_cycles: 0,
+            skip_events: 0,
+            skip_until: 0,
             trace_root,
             sampler,
             cfg,
@@ -217,6 +236,7 @@ impl System {
 
     /// Clears a flag for reuse.
     pub fn clear_flag(&mut self, f: FlagId) {
+        self.wake();
         self.flags.clear(f);
     }
 
@@ -230,6 +250,7 @@ impl System {
     /// between offload phases (CG's `x`, hash-join build tables, UME mesh
     /// values); data only ever touched by DX100 keeps the direct-DRAM path.
     pub fn mark_host_resident(&mut self, base: Addr, bytes: u64) {
+        self.wake();
         let first = base >> PAGE_SHIFT;
         let last = (base + bytes.max(1) - 1) >> PAGE_SHIFT;
         for p in first..=last {
@@ -239,12 +260,14 @@ impl System {
 
     /// Appends literal micro-ops to a core's program.
     pub fn push_ops<I: IntoIterator<Item = CoreOp>>(&mut self, core: CoreId, ops: I) {
+        self.wake();
         self.channels[core].0.borrow_mut().push_ops(ops);
         self.cores[core].nudge();
     }
 
     /// Appends a lazy op generator to a core's program.
     pub fn push_stream(&mut self, core: CoreId, gen: Box<dyn OpStream>) {
+        self.wake();
         self.channels[core].0.borrow_mut().push_stream(gen);
         self.cores[core].nudge();
     }
@@ -330,6 +353,7 @@ impl System {
 
     /// Mutable access to a DX100 instance (functional setup: tiles, PTEs).
     pub fn dx100(&mut self, instance: usize) -> &mut Dx100Engine {
+        self.wake();
         &mut self.engines[instance]
     }
 
@@ -345,6 +369,7 @@ impl System {
 
     /// The application memory image (functional data).
     pub fn image(&mut self) -> &mut MemoryImage {
+        self.wake();
         &mut self.image
     }
 
@@ -361,6 +386,7 @@ impl System {
 
     /// The DMP prefetcher, when configured.
     pub fn dmp_mut(&mut self) -> Option<&mut Dmp> {
+        self.wake();
         self.dmp.as_mut()
     }
 
@@ -381,6 +407,7 @@ impl System {
 
     /// Starts the region of interest: clears all statistics.
     pub fn roi_begin(&mut self) {
+        self.wake();
         self.roi_start = self.clock;
         for c in &mut self.cores {
             c.reset_stats();
@@ -471,8 +498,156 @@ impl System {
             && self.instr_delivery.iter().all(|q| q.is_empty())
     }
 
+    /// Accumulated `(skipped_cycles, skip_events)` cycle-skip telemetry.
+    pub fn skip_stats(&self) -> (u64, u64) {
+        (self.skipped_cycles, self.skip_events)
+    }
+
+    /// Event-driven cycle skipping: when every component certifies that the
+    /// current cycle would be pure bookkeeping, cache a quiescence
+    /// certificate up to the earliest cycle at which anything can happen
+    /// and elide the current cycle. [`System::step`] then elides one cycle
+    /// per call until the certificate expires, crediting each elided cycle
+    /// so statistics, epoch samples, and traces stay bit-identical to a
+    /// cycle-by-cycle run. Returns whether the cycle was elided (in which
+    /// case the caller must not run the normal tick).
+    ///
+    /// Safe because every `next_event` implementation is conservative: it
+    /// may report an event earlier than anything real (the tick at that
+    /// cycle is then a no-op and stepping resumes normally), but never
+    /// later. Eliding one cycle per `step` call — rather than jumping the
+    /// clock across the whole span — keeps the driver's poll cadence
+    /// exactly as in a cycle-by-cycle run: drivers are polled once per
+    /// cycle either way, so even stateful poll sequencing (a driver that
+    /// observes completion on one poll and reports `Done` on the next)
+    /// sees the same clock values. Any driver call that mutates the
+    /// machine revokes the certificate via [`System::wake`].
+    fn try_skip(&mut self) -> bool {
+        let now = self.clock;
+        // Work queued for this very cycle forbids a skip.
+        if !self.dram_retry.is_empty()
+            || self.dram.has_pending_responses()
+            || self.dmp.as_ref().is_some_and(|d| d.has_pending())
+            || self.cores.iter().any(|c| c.has_mmio_signals())
+            || self.sampler.as_ref().is_some_and(|s| s.due(now))
+        {
+            return false;
+        }
+        fn fold(ev: Option<Cycle>, t: Cycle) -> Option<Cycle> {
+            Some(ev.map_or(t, |e: Cycle| e.min(t)))
+        }
+        let mut ev: Option<Cycle> = None;
+        for core in &mut self.cores {
+            match core.next_event(now, &self.flags) {
+                Some(t) if t <= now => return false,
+                Some(t) => ev = fold(ev, t),
+                None => {}
+            }
+        }
+        // In-order MMIO delivery: only a not-yet-ready instruction head is
+        // certainly inert (a ready head may acquire regions; a register or
+        // tile write applies immediately).
+        for q in &self.instr_delivery {
+            match q.front() {
+                None => {}
+                Some(PendingMmio::Instr { ready_at, .. }) => {
+                    if *ready_at <= now {
+                        return false;
+                    }
+                    ev = fold(ev, *ready_at);
+                }
+                Some(_) => return false,
+            }
+        }
+        match self.hier.next_event(now) {
+            Some(t) if t <= now => return false,
+            Some(t) => ev = fold(ev, t),
+            None => {}
+        }
+        for e in &self.engines {
+            match e.next_event(now) {
+                Some(t) if t <= now => return false,
+                Some(t) => ev = fold(ev, t),
+                None => {}
+            }
+        }
+        if let Some(t) = self.spd_fills.next_ready_at() {
+            if t <= now {
+                return false;
+            }
+            ev = fold(ev, t);
+        }
+        // DRAM, converting clock domains: DRAM tick `d` executes during CPU
+        // cycle `d * m`, and the next one due is at the next multiple of
+        // `m` ≥ now (possibly this very cycle).
+        let m = self.cfg.cpu_cycles_per_dram_tick;
+        let d0 = now.div_ceil(m);
+        if let Some(td) = self.dram.next_event(d0) {
+            let t = td * m;
+            if t <= now {
+                return false;
+            }
+            ev = fold(ev, t);
+        }
+        // Fully quiescent. Jump to the earliest event, clamped to the next
+        // epoch boundary (samples must land on the same cycles as a
+        // cycle-by-cycle run) and to the simulation cap (the deadlock
+        // panic must fire at the same cycle). With no event at all —
+        // drained machine or true deadlock — plain stepping already
+        // matches baseline behavior, so don't jump.
+        let Some(mut target) = ev else {
+            return false;
+        };
+        if let Some(s) = &self.sampler {
+            target = target.min(s.next_boundary());
+        }
+        target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return false;
+        }
+        self.skip_until = target;
+        self.skip_events += 1;
+        self.elide_cycle();
+        true
+    }
+
+    /// Elides one certified-quiescent cycle: replays exactly the
+    /// bookkeeping a no-op tick would have done (stall/idle accounting,
+    /// occupancy samples, trace span updates, the every-other-cycle DRAM
+    /// tick counter) and advances the clock by one.
+    fn elide_cycle(&mut self) {
+        let now = self.clock;
+        for core in &mut self.cores {
+            core.credit_idle_span(now, now + 1, &self.flags);
+        }
+        for e in &mut self.engines {
+            e.credit_idle_span(now, now + 1);
+        }
+        if now.is_multiple_of(self.cfg.cpu_cycles_per_dram_tick) {
+            self.dram.credit_idle_ticks(1);
+        }
+        self.skipped_cycles += 1;
+        self.clock = now + 1;
+    }
+
+    /// Revokes the cached quiescence certificate. Every driver-facing
+    /// method that can change machine state calls this, so work injected
+    /// between steps is picked up on the very next cycle.
+    fn wake(&mut self) {
+        self.skip_until = 0;
+    }
+
     /// Advances the machine one CPU cycle.
     pub fn step(&mut self) {
+        if self.cfg.cycle_skip {
+            if self.clock < self.skip_until {
+                self.elide_cycle();
+                return;
+            }
+            if self.try_skip() {
+                return;
+            }
+        }
         let now = self.clock;
 
         // --- Cores tick and issue memory operations. ---
@@ -566,32 +741,36 @@ impl System {
         }
 
         // --- Route LLC↔DRAM traffic (with SPD-region interception). ---
-        self.route_to_dram(std::mem::take(&mut to_dram));
+        self.route_to_dram(&mut to_dram);
         self.to_dram_scratch = to_dram;
 
-        // Retry DRAM enqueues that hit a full buffer.
+        // Retry DRAM enqueues that hit a full buffer: peek to probe for
+        // space, pop exactly once on success.
         let dram_now = now / self.cfg.cpu_cycles_per_dram_tick;
-        while let Some(&(req, origin)) = self.dram_retry.front() {
+        while let Some(&(req, _)) = self.dram_retry.front() {
             if !self.dram.try_enqueue(req, dram_now) {
                 break;
             }
+            let (req, origin) = self.dram_retry.pop_front().expect("probed head");
             self.dram_pending.insert(req.id, origin);
-            self.dram_retry.pop_front();
         }
 
         // --- Scratchpad-region fills (core reads of gathered tiles). ---
-        let mut extra = Vec::new();
+        let mut extra = std::mem::take(&mut self.wb_scratch);
+        extra.clear();
         while let Some(line) = self.spd_fills.pop_ready(now) {
             self.hier.dram_fill(line, now, &mut extra);
         }
         if !extra.is_empty() {
-            self.route_to_dram(extra);
+            self.route_to_dram(&mut extra);
         }
+        self.wb_scratch = extra;
 
         // --- DRAM tick (every other CPU cycle). ---
         if now.is_multiple_of(self.cfg.cpu_cycles_per_dram_tick) {
             self.dram.tick(dram_now);
-            let mut fills = Vec::new();
+            let mut fills = std::mem::take(&mut self.fill_scratch);
+            fills.clear();
             while let Some(resp) = self.dram.pop_response() {
                 match self.dram_pending.remove(&resp.id) {
                     Some(DramOrigin::HierRead) => fills.push(resp.line),
@@ -602,13 +781,16 @@ impl System {
                     None => debug_assert!(false, "unknown DRAM response"),
                 }
             }
-            let mut extra = Vec::new();
-            for line in fills {
+            let mut extra = std::mem::take(&mut self.wb_scratch);
+            extra.clear();
+            for line in fills.drain(..) {
                 self.hier.dram_fill(line, now, &mut extra);
             }
             if !extra.is_empty() {
-                self.route_to_dram(extra);
+                self.route_to_dram(&mut extra);
             }
+            self.wb_scratch = extra;
+            self.fill_scratch = fills;
         }
 
         // --- Core memory responses. ---
@@ -719,10 +901,10 @@ impl System {
         handle
     }
 
-    fn route_to_dram(&mut self, bound: Vec<DramBound>) {
+    fn route_to_dram(&mut self, bound: &mut Vec<DramBound>) {
         let now = self.clock;
         let dram_now = now / self.cfg.cpu_cycles_per_dram_tick;
-        for d in bound {
+        for d in bound.drain(..) {
             let addr = d.line.base();
             // SPD-region reads are served by the accelerator's scratchpad.
             if let Some(e_idx) = self.engines.iter().position(|e| e.is_spd_addr(addr)) {
@@ -845,6 +1027,8 @@ pub struct SystemCheckpoint {
     roi_start: Cycle,
     roi_snapshot: Option<RunStats>,
     sampler: Option<EpochSampler>,
+    skipped_cycles: u64,
+    skip_events: u64,
 }
 
 impl SystemCheckpoint {
@@ -898,6 +1082,8 @@ impl dx100_common::Checkpoint for System {
             roi_start: self.roi_start,
             roi_snapshot: self.roi_snapshot.clone(),
             sampler: self.sampler.clone(),
+            skipped_cycles: self.skipped_cycles,
+            skip_events: self.skip_events,
         })
     }
 
@@ -932,6 +1118,10 @@ impl dx100_common::Checkpoint for System {
         self.roi_start = s.roi_start;
         self.roi_snapshot = s.roi_snapshot.clone();
         self.sampler = s.sampler.clone();
+        self.skipped_cycles = s.skipped_cycles;
+        self.skip_events = s.skip_events;
+        // The certificate described the pre-restore machine; re-derive it.
+        self.skip_until = 0;
     }
 }
 

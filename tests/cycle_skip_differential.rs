@@ -1,0 +1,220 @@
+//! Differential and property tests for event-driven cycle skipping.
+//!
+//! The skip layer in `System::step` must be *invisible*: with
+//! `cycle_skip` on, every kernel must produce bit-identical statistics,
+//! epoch samples, and trace events to a cycle-by-cycle run — only
+//! wall-clock time may differ. These tests run every paper kernel both
+//! ways and compare, check that skipping actually engages on an
+//! idle-heavy run, and property-test the `next_event` contracts of the
+//! two substrate schedulers ([`DelayQueue`] and the DRAM channel
+//! controller) that the skip decision is built on.
+
+use dx100::common::{DelayQueue, DType, LineAddr};
+use dx100::cpu::CoreOp;
+use dx100::dram::{DramConfig, DramSystem, MemRequest};
+use dx100::sim::driver::NullDriver;
+use dx100::sim::{System, SystemConfig};
+use dx100::workloads::{all_kernels, Mode, Scale};
+use dx100_core::MemoryImage;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::VecDeque;
+
+/// Small enough that a full kernel sweep stays test-suite friendly.
+const TINY: Scale = Scale(1.0 / 128.0);
+const SEED: u64 = 7;
+
+fn cfg_for(mode: Mode, skip: bool) -> SystemConfig {
+    let mut cfg = match mode {
+        Mode::Baseline => SystemConfig::paper_baseline(),
+        Mode::Dmp => SystemConfig::paper_dmp(),
+        Mode::Dx100 => SystemConfig::paper_dx100(),
+    };
+    cfg.cycle_skip = skip;
+    // Enable every observer so the comparison covers trace events and
+    // epoch samples, not just end-of-run counters.
+    cfg.obs.trace = true;
+    cfg.obs.epoch_cycles = Some(5000);
+    cfg
+}
+
+/// Skip-on and skip-off runs must agree bit-for-bit: checksum, cycle
+/// count, every counter, every epoch sample, every trace event. `RunStats`
+/// has no `PartialEq`, but its `Debug` output prints floats with
+/// shortest-roundtrip formatting, so Debug-string equality is bit equality.
+#[test]
+fn skip_on_off_bit_identical_all_kernels() {
+    for kernel in all_kernels(TINY) {
+        for mode in [Mode::Baseline, Mode::Dx100] {
+            let on = kernel.run(mode, &cfg_for(mode, true), SEED);
+            let off = kernel.run(mode, &cfg_for(mode, false), SEED);
+            let label = format!("{} [{}]", kernel.name(), mode.label());
+            assert_eq!(on.checksum, off.checksum, "checksum diverged: {label}");
+            assert_eq!(
+                format!("{:?}", on.stats),
+                format!("{:?}", off.stats),
+                "stats diverged with cycle skipping: {label}"
+            );
+        }
+    }
+}
+
+/// The DMP prefetcher path (pending-injection forbid rule) gets its own
+/// differential pass on the two most prefetch-sensitive kernels.
+#[test]
+fn skip_on_off_bit_identical_dmp() {
+    for kernel in all_kernels(TINY) {
+        if !matches!(kernel.name(), "is" | "pr") {
+            continue;
+        }
+        let on = kernel.run(Mode::Dmp, &cfg_for(Mode::Dmp, true), SEED);
+        let off = kernel.run(Mode::Dmp, &cfg_for(Mode::Dmp, false), SEED);
+        assert_eq!(on.checksum, off.checksum, "checksum diverged: {}", kernel.name());
+        assert_eq!(
+            format!("{:?}", on.stats),
+            format!("{:?}", off.stats),
+            "stats diverged with cycle skipping: {} [dmp]",
+            kernel.name()
+        );
+    }
+}
+
+/// A serial pointer-chase over a cold array: one core, each load dependent
+/// on the previous one, so the machine spends most cycles waiting on DRAM.
+fn sparse_chase() -> (MemoryImage, Vec<CoreOp>) {
+    let mut image = MemoryImage::new();
+    let a = image.alloc("A", DType::U32, 1 << 20); // 4 MB, exceeds L2
+    let mut ops = Vec::new();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..64u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let idx = (x >> 33) % (1 << 20);
+        let load = CoreOp::load(a.addr_of(idx), 1);
+        ops.push(if i == 0 { load } else { load.with_dep(1) });
+    }
+    (image, ops)
+}
+
+/// Skipping must actually engage on an idle-heavy run (otherwise the whole
+/// optimisation could silently regress to a no-op) while leaving the final
+/// cycle count untouched.
+#[test]
+fn skip_engages_on_idle_heavy_run() {
+    let run = |skip: bool| {
+        let (image, ops) = sparse_chase();
+        let mut cfg = SystemConfig::paper_baseline();
+        cfg.cycle_skip = skip;
+        let mut sys = System::new(cfg, image);
+        sys.push_ops(0, ops);
+        let stats = sys.run(&mut NullDriver);
+        (stats.cycles, sys.skip_stats())
+    };
+    let (cycles_on, (skipped, skip_events)) = run(true);
+    let (cycles_off, (skipped_off, _)) = run(false);
+    assert_eq!(cycles_on, cycles_off, "skipping changed the final cycle count");
+    assert_eq!(skipped_off, 0, "skip telemetry must stay zero with skipping off");
+    assert!(
+        skipped > cycles_on / 2,
+        "a serial miss chain should skip most cycles: {skipped} of {cycles_on}"
+    );
+    assert!(skip_events > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `DelayQueue::next_ready_at` is tight: it names exactly the earliest
+    /// ready cycle (nothing pops strictly before it, something pops at it),
+    /// and equal-cycle items drain in FIFO order.
+    #[test]
+    fn delay_queue_next_ready_at_is_tight(delays in proptest::collection::vec(0u64..100, 1..50)) {
+        let mut q = DelayQueue::new();
+        let mut remaining: Vec<(u64, usize)> =
+            delays.iter().enumerate().map(|(i, d)| (*d, i)).collect();
+        for &(d, i) in &remaining {
+            q.push_at(d, i);
+        }
+        remaining.sort(); // pop order: (ready cycle, insertion sequence)
+        for &(ready, idx) in &remaining {
+            let t = q.next_ready_at();
+            prop_assert_eq!(t, Some(ready), "next_ready_at must be the min ready cycle");
+            if ready > 0 {
+                prop_assert!(q.pop_ready(ready - 1).is_none(), "popped before ready");
+            }
+            prop_assert_eq!(q.pop_ready(ready), Some(idx), "FIFO order violated");
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.next_ready_at(), None);
+    }
+
+    /// The DRAM scheduler's quiescence contract, phrased exactly as the
+    /// system skip layer uses it: whenever `next_event(now)` names a future
+    /// tick `t`, (a) ticking each cycle of the gap one-by-one and (b)
+    /// jumping over it with `credit_idle_ticks` must leave bit-identical
+    /// statistics and produce the same response schedule for the rest of
+    /// the run — and while approaching `t`, `next_event` never moves the
+    /// event later (no missed wakeups).
+    #[test]
+    fn dram_gap_skip_equals_tick_by_tick(
+        reqs in proptest::collection::vec((0u64..4096, any::<bool>()), 1usize..120),
+        rate in 1usize..4,
+    ) {
+        // (response id, tick) schedule plus final stats, driving with or
+        // without gap skipping.
+        type Driven = Result<(Vec<(u64, u64)>, String, u64), TestCaseError>;
+        let drive = |skip: bool| -> Driven {
+            let mut dram = DramSystem::new(DramConfig::ddr4_3200_2ch());
+            let mut pending: VecDeque<(u64, LineAddr, bool)> = reqs
+                .iter()
+                .enumerate()
+                .map(|(i, (l, w))| (i as u64, LineAddr(*l), *w))
+                .collect();
+            let mut schedule = Vec::new();
+            let mut skipped = 0u64;
+            let mut now = 0u64;
+            while schedule.len() < reqs.len() {
+                for _ in 0..rate {
+                    let Some(&(id, line, w)) = pending.front() else { break };
+                    let req = if w { MemRequest::write(id, line) } else { MemRequest::read(id, line) };
+                    if dram.try_enqueue(req, now) {
+                        pending.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                // Only skip once arrivals stop, mirroring the system layer
+                // (which never skips while external input is due).
+                if skip && pending.is_empty() {
+                    if let Some(t) = dram.next_event(now) {
+                        if t > now {
+                            // No missed wakeups while approaching `t`.
+                            for probe in [now + 1, (now + t) / 2, t - 1] {
+                                if probe > now && probe < t {
+                                    let e = dram.next_event(probe);
+                                    prop_assert!(
+                                        e.is_some_and(|x| x <= t),
+                                        "event receded: next_event({probe}) = {e:?} > {t}"
+                                    );
+                                }
+                            }
+                            dram.credit_idle_ticks(t - now);
+                            skipped += t - now;
+                            now = t;
+                        }
+                    }
+                }
+                dram.tick(now);
+                while let Some(resp) = dram.pop_response() {
+                    schedule.push((resp.id, now));
+                }
+                now += 1;
+                prop_assert!(now < 4_000_000, "drain timeout");
+            }
+            Ok((schedule, format!("{:?}", dram.stats()), skipped))
+        };
+        let (sched_skip, stats_skip, skipped) = drive(true)?;
+        let (sched_tick, stats_tick, _) = drive(false)?;
+        prop_assert_eq!(sched_skip, sched_tick, "response schedule diverged");
+        prop_assert_eq!(stats_skip, stats_tick, "DRAM stats diverged (skipped {} ticks)", skipped);
+    }
+}

@@ -27,19 +27,26 @@
 //! * `--epoch <cycles>` — sample epoch time-series metrics every N cycles
 //!   (included in the `--json` report).
 //!
-//! Sampled-simulation flags (row-based figure binaries):
+//! Sweep-execution flags (row-based figure binaries):
 //!
+//! * `--threads <n>` — worker threads for the kernel × machine sweep
+//!   (default: available cores). Governs *both* modes: full-fidelity
+//!   sweeps run each (kernel, machine) job on the shared pool, and sampled
+//!   sweeps run each replay window there. Every output — tables, `--json`
+//!   reports, epoch series, `--trace` files — is bit-identical at any
+//!   thread count; only wall-clock time and stderr progress order change.
 //! * `--sample` — run the checkpointed, sampled pipeline (`dx100-sampling`)
 //!   instead of full cycle-by-cycle simulation: kernels with interval
 //!   decompositions simulate only representative windows; the rest run in
 //!   full, but all of it in parallel across `--threads` workers. The report
 //!   records per-metric sampling-error estimates.
-//! * `--threads <n>` — replay worker threads (default: available cores).
-//! * `--seed <n>` — dataset + sampling RNG seed (default 1); sampled runs
-//!   are bit-reproducible for a given seed regardless of thread count.
+//! * `--seed <n>` — dataset + sampling RNG seed (default 1); runs are
+//!   bit-reproducible for a given seed regardless of thread count.
 
+pub mod progress;
 pub mod sampled;
 
+pub use progress::Progress;
 pub use sampled::{run_figure, FigureRun, WalltimeEntry};
 
 use std::path::{Path, PathBuf};
@@ -132,20 +139,34 @@ pub fn run_all(scale: f64, with_dmp: bool, seed: u64) -> Vec<KernelRow> {
     run_all_with(scale, with_dmp, seed, &ObservabilityConfig::default())
 }
 
-/// [`run_all`] with observability applied to every run.
+/// [`run_all`] with observability applied to every run. Executes the
+/// (kernel × machine) matrix on the machine's available cores; see
+/// [`run_all_threaded`] for the determinism contract.
 pub fn run_all_with(
     scale: f64,
     with_dmp: bool,
     seed: u64,
     obs: &ObservabilityConfig,
 ) -> Vec<KernelRow> {
-    all_kernels(Scale(scale))
-        .iter()
-        .map(|k| {
-            eprintln!("running {} ...", k.name());
-            run_kernel_row_with(k.as_ref(), with_dmp, seed, obs)
-        })
-        .collect()
+    run_all_threaded(scale, with_dmp, seed, obs, default_threads())
+}
+
+/// [`run_all_with`] with an explicit worker-thread count.
+///
+/// Every (kernel, machine) simulation is an independent job on the shared
+/// deterministic pool ([`dx100_common::pool`]); results are collected in
+/// job order, so rows — and everything derived from them: tables, JSON
+/// reports, epoch series, Chrome traces — are bit-identical for any
+/// `threads` value.
+pub fn run_all_threaded(
+    scale: f64,
+    with_dmp: bool,
+    seed: u64,
+    obs: &ObservabilityConfig,
+    threads: usize,
+) -> Vec<KernelRow> {
+    let kernels = all_kernels(Scale(scale));
+    sampled::run_matrix(&kernels, with_dmp, seed, obs, threads, "full sweep").0
 }
 
 /// Command-line arguments shared by the figure binaries.
@@ -161,7 +182,9 @@ pub struct BenchArgs {
     pub epoch: Option<u64>,
     /// Run the sampled-simulation pipeline (`--sample`).
     pub sample: bool,
-    /// Worker threads for sampled replay (`--threads`).
+    /// Worker threads for the kernel × machine sweep (`--threads`):
+    /// full-fidelity jobs and sampled replay windows both execute on this
+    /// many workers, with bit-identical output at any value.
     pub threads: usize,
     /// Dataset + sampling RNG seed (`--seed`).
     pub seed: u64,

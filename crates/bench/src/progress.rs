@@ -1,0 +1,80 @@
+//! Serialized sweep-progress reporting.
+//!
+//! Concurrent sweep workers used to `eprintln!` independently, which
+//! interleaves garbled fragments once jobs overlap. This reporter owns the
+//! counters *and* the formatting under one lock, so every start/finish
+//! line is whole, numbered, and labelled with its kernel × machine job —
+//! at any `--threads` value. Progress goes to stderr and is the only
+//! sweep output that may vary with thread count (in *order* only); every
+//! measured artifact stays bit-identical.
+
+use std::sync::Mutex;
+
+/// A sweep-wide progress reporter shared by worker threads.
+pub struct Progress {
+    total: usize,
+    state: Mutex<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    started: usize,
+    finished: usize,
+}
+
+impl Progress {
+    /// A reporter for a sweep of `total` jobs.
+    pub fn new(total: usize) -> Self {
+        Progress {
+            total,
+            state: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// Announces a sweep with its job and worker counts (one header line).
+    pub fn header(&self, what: &str, threads: usize) {
+        eprintln!("{what}: {} jobs, {threads} thread(s)", self.total);
+    }
+
+    /// Records and prints a job start: `[ 3/36] start  is/baseline`.
+    pub fn start(&self, label: &str) {
+        let mut s = self.state.lock().unwrap();
+        s.started += 1;
+        let n = s.started;
+        // Printed while holding the lock so lines never interleave.
+        eprintln!("[{n:>2}/{}] start  {label}", self.total);
+    }
+
+    /// Records and prints a job finish: `[ 3/36] done   is/baseline  1.24s`.
+    pub fn finish(&self, label: &str, seconds: f64) {
+        let mut s = self.state.lock().unwrap();
+        s.finished += 1;
+        let n = s.finished;
+        eprintln!("[{n:>2}/{}] done   {label}  {seconds:.2}s", self.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_are_monotonic_under_concurrency() {
+        let p = Arc::new(Progress::new(64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        p.start("k/mode");
+                        p.finish("k/mode", 0.0);
+                    }
+                });
+            }
+        });
+        let s = p.state.lock().unwrap();
+        assert_eq!(s.started, 64);
+        assert_eq!(s.finished, 64);
+    }
+}

@@ -14,12 +14,13 @@
 use std::time::Instant;
 
 use dx100_common::json::{obj, Json};
+use dx100_common::pool::run_parallel;
 use dx100_sampling::{self as sampling, SamplePlan, SampledRun, SamplingErrors, WarmCache};
 use dx100_sim::report::SCHEMA_VERSION;
-use dx100_sim::{RunStats, SystemConfig};
-use dx100_workloads::{all_kernels, Mode, Scale, WorkloadResult};
+use dx100_sim::{ObservabilityConfig, RunStats, SystemConfig};
+use dx100_workloads::{all_kernels, KernelRun, Mode, Scale, WorkloadResult};
 
-use crate::{report_json, run_kernel_row_timed, trace_json, BenchArgs, KernelRow};
+use crate::{report_json, trace_json, BenchArgs, KernelRow, Progress};
 
 /// Wall-clock seconds spent simulating one kernel × machine.
 #[derive(Debug, Clone)]
@@ -73,42 +74,97 @@ pub fn run_figure(args: &BenchArgs, with_dmp: bool) -> FigureRun {
         }
         run_sampled(args.scale, with_dmp, args.seed, args.threads)
     } else {
-        run_full(args.scale, with_dmp, args.seed, &args.observability())
+        run_full(args.scale, with_dmp, args.seed, &args.observability(), args.threads)
     }
 }
 
-/// The timed serial full-fidelity sweep.
+/// Executes the full-fidelity (kernel × machine) job matrix on `threads`
+/// workers, returning the figure rows plus one per-job walltime entry.
+///
+/// Jobs are enumerated up front, kernel-major with machines in baseline /
+/// dx100 / dmp order, and the shared pool collects results in that job
+/// order — so rows, and everything derived from them, are bit-identical at
+/// any thread count. Each job constructs its entire driver state (dataset
+/// walk, `System`, observability sinks) on its worker thread and is timed
+/// with its own [`Instant`] span, so per-job seconds stay accurate under
+/// concurrency.
+pub(crate) fn run_matrix(
+    kernels: &[Box<dyn KernelRun + Send + Sync>],
+    with_dmp: bool,
+    seed: u64,
+    obs: &ObservabilityConfig,
+    threads: usize,
+    what: &str,
+) -> (Vec<KernelRow>, Vec<WalltimeEntry>) {
+    let modes: Vec<(Mode, SystemConfig)> = sweep_modes(with_dmp)
+        .into_iter()
+        .map(|(m, mut cfg)| {
+            cfg.obs = obs.clone();
+            (m, cfg)
+        })
+        .collect();
+    let jobs = kernels.len() * modes.len();
+    let threads = threads.clamp(1, jobs.max(1));
+    let progress = Progress::new(jobs);
+    progress.header(what, threads);
+    let mut tasks: Vec<Box<dyn FnOnce() -> (WorkloadResult, f64) + Send + '_>> = Vec::new();
+    for kernel in kernels {
+        for (mode, cfg) in &modes {
+            let progress = &progress;
+            tasks.push(Box::new(move || {
+                let label = format!("{}/{}", kernel.name(), mode.label());
+                progress.start(&label);
+                let t = Instant::now();
+                let r = kernel.run(*mode, cfg, seed);
+                let secs = t.elapsed().as_secs_f64();
+                progress.finish(&label, secs);
+                (r, secs)
+            }));
+        }
+    }
+    let mut results = run_parallel(tasks, threads).into_iter();
+    let mut rows = Vec::with_capacity(kernels.len());
+    let mut walltime = Vec::with_capacity(jobs);
+    for kernel in kernels {
+        let mut take = |mode: Mode| {
+            let (r, secs) = results.next().expect("one result per enumerated job");
+            walltime.push(WalltimeEntry {
+                kernel: kernel.name(),
+                config: mode.label(),
+                seconds: secs,
+                windows: None,
+            });
+            r
+        };
+        rows.push(KernelRow {
+            name: kernel.name(),
+            baseline: take(Mode::Baseline),
+            dx100: take(Mode::Dx100),
+            dmp: with_dmp.then(|| take(Mode::Dmp)),
+        });
+    }
+    (rows, walltime)
+}
+
+/// The timed parallel full-fidelity sweep.
 fn run_full(
     scale: f64,
     with_dmp: bool,
     seed: u64,
-    obs: &dx100_sim::ObservabilityConfig,
+    obs: &ObservabilityConfig,
+    threads: usize,
 ) -> FigureRun {
     let start = Instant::now();
-    let mut rows = Vec::new();
-    let mut walltime = Vec::new();
-    for k in all_kernels(Scale(scale)) {
-        eprintln!("running {} ...", k.name());
-        let (row, secs) = run_kernel_row_timed(k.as_ref(), with_dmp, seed, obs);
-        for (mode, s) in Mode::ALL.iter().zip(secs) {
-            if *mode == Mode::Dmp && !with_dmp {
-                continue;
-            }
-            walltime.push(WalltimeEntry {
-                kernel: row.name,
-                config: mode.label(),
-                seconds: s,
-                windows: None,
-            });
-        }
-        rows.push(row);
-    }
+    let kernels = all_kernels(Scale(scale));
+    let jobs = kernels.len() * if with_dmp { 3 } else { 2 };
+    let threads = threads.clamp(1, jobs.max(1));
+    let (rows, walltime) = run_matrix(&kernels, with_dmp, seed, obs, threads, "full sweep");
     FigureRun {
         rows,
         walltime,
         total_seconds: start.elapsed().as_secs_f64(),
         mode: "full",
-        threads: 1,
+        threads,
         sampling: None,
         scale,
         seed,
@@ -334,7 +390,10 @@ impl FigureRun {
         }
     }
 
-    /// The walltime report (`<generator>_sim_walltime.json` contents).
+    /// The walltime report (`<generator>_sim_walltime.json` contents):
+    /// the worker-thread count used, per-job seconds (one entry per
+    /// kernel × machine, each timed on its own worker), and the end-to-end
+    /// sweep total.
     pub fn walltime_json(&self, generator: &str) -> Json {
         obj([
             ("schema_version", SCHEMA_VERSION.into()),
@@ -342,6 +401,7 @@ impl FigureRun {
             ("mode", self.mode.into()),
             ("scale", self.scale.into()),
             ("threads", self.threads.into()),
+            ("jobs", self.walltime.len().into()),
             (
                 "entries",
                 Json::Arr(

@@ -5,9 +5,10 @@
 //! addresses ([`Addr`], [`LineAddr`]), the accelerator's data types and ALU
 //! operations ([`DType`], [`AluOp`]) together with bit-exact value arithmetic
 //! ([`value`]), a deterministic [`DelayQueue`] used to model fixed-latency
-//! links, lightweight statistics helpers ([`stats`]), the observability
-//! layer's event tracing ([`trace`]) and its dependency-free JSON value
-//! ([`json`]).
+//! links, lightweight statistics helpers ([`stats`]), the deterministic
+//! worker [`pool`] that parallel figure sweeps and sampled replay share,
+//! the observability layer's event tracing ([`trace`]) and its
+//! dependency-free JSON value ([`json`]).
 //!
 //! # Example
 //!
@@ -25,6 +26,7 @@
 pub mod checkpoint;
 pub mod flags;
 pub mod json;
+pub mod pool;
 pub mod queue;
 pub mod stats;
 pub mod trace;

@@ -68,7 +68,7 @@ struct Entry {
 pub struct Core {
     id: CoreId,
     cfg: CoreConfig,
-    stream: Box<dyn OpStream>,
+    stream: Box<dyn OpStream + Send>,
     stream_done: bool,
     peeked: Option<CoreOp>,
     rob: VecDeque<Entry>,
@@ -203,7 +203,7 @@ impl std::fmt::Debug for Core {
 
 impl Core {
     /// Creates a core that will execute `stream`.
-    pub fn new(id: CoreId, cfg: CoreConfig, stream: Box<dyn OpStream>) -> Self {
+    pub fn new(id: CoreId, cfg: CoreConfig, stream: Box<dyn OpStream + Send>) -> Self {
         Core {
             id,
             cfg,
@@ -319,7 +319,7 @@ impl Core {
 
     /// Replaces the op stream (used when a workload phase hands a core a new
     /// program).
-    pub fn set_stream(&mut self, stream: Box<dyn OpStream>) {
+    pub fn set_stream(&mut self, stream: Box<dyn OpStream + Send>) {
         self.stream = stream;
         self.stream_done = false;
         self.peeked = None;

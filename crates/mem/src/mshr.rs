@@ -1,8 +1,6 @@
 //! Miss Status Holding Registers: track outstanding misses, coalesce
 //! same-line requests, and bound memory-level parallelism.
 
-use std::collections::HashMap;
-
 use dx100_common::LineAddr;
 
 use crate::Access;
@@ -21,10 +19,17 @@ pub enum MshrOutcome {
 }
 
 /// A file of MSHRs for one cache level.
+///
+/// Backed by a small vector sorted by [`LineAddr`], not a hash map: a file
+/// holds at most a few dozen registers (Table 3 sizes), so binary search
+/// over one contiguous allocation beats hashing every probe on the miss
+/// path — no per-lookup hash, no rehash growth, and the order of any
+/// future iteration is fixed by construction rather than by hasher state.
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<LineAddr, Vec<Access>>,
+    /// `(line, waiters)` pairs, sorted by line; at most `capacity` long.
+    entries: Vec<(LineAddr, Vec<Access>)>,
 }
 
 impl MshrFile {
@@ -32,32 +37,41 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
         }
+    }
+
+    fn position(&self, line: LineAddr) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&line, |(l, _)| *l)
     }
 
     /// Registers a missing `access`. See [`MshrOutcome`].
     pub fn register(&mut self, access: Access) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&access.line) {
-            waiters.push(access);
-            return MshrOutcome::Coalesced;
+        match self.position(access.line) {
+            Ok(i) => {
+                self.entries[i].1.push(access);
+                MshrOutcome::Coalesced
+            }
+            Err(_) if self.entries.len() >= self.capacity => MshrOutcome::Full,
+            Err(i) => {
+                self.entries.insert(i, (access.line, vec![access]));
+                MshrOutcome::Allocated
+            }
         }
-        if self.entries.len() >= self.capacity {
-            return MshrOutcome::Full;
-        }
-        self.entries.insert(access.line, vec![access]);
-        MshrOutcome::Allocated
     }
 
     /// Releases the entry for `line`, returning every coalesced waiter.
     /// Returns an empty vec if no entry existed (e.g. an unsolicited fill).
     pub fn complete(&mut self, line: LineAddr) -> Vec<Access> {
-        self.entries.remove(&line).unwrap_or_default()
+        match self.position(line) {
+            Ok(i) => self.entries.remove(i).1,
+            Err(_) => Vec::new(),
+        }
     }
 
     /// Whether a miss for `line` is already outstanding.
     pub fn is_pending(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.position(line).is_ok()
     }
 
     /// Number of allocated registers.
@@ -117,5 +131,22 @@ mod tests {
         assert!(!m.is_pending(LineAddr(3)));
         m.register(acc(1, 3));
         assert!(m.is_pending(LineAddr(3)));
+    }
+
+    #[test]
+    fn entries_stay_sorted_across_churn() {
+        let mut m = MshrFile::new(8);
+        for line in [50u64, 10, 90, 30, 70, 20, 60, 40] {
+            assert_eq!(m.register(acc(line, line)), MshrOutcome::Allocated);
+        }
+        assert_eq!(m.register(acc(99, 99)), MshrOutcome::Full);
+        assert_eq!(m.complete(LineAddr(30)).len(), 1);
+        assert_eq!(m.register(acc(5, 5)), MshrOutcome::Allocated);
+        let lines: Vec<u64> = m.entries.iter().map(|(l, _)| l.0).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert!(m.is_pending(LineAddr(5)));
+        assert!(!m.is_pending(LineAddr(30)));
     }
 }

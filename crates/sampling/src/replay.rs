@@ -1,6 +1,6 @@
 //! Window planning, parallel replay, and weighted reconstitution.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dx100_common::stats::{RunningAverage, Ratio};
@@ -349,37 +349,9 @@ pub fn replay_window(run: &SampledRun, plan: IntervalPlan, warm: &WarmCache) -> 
 // Parallel task execution
 // ---------------------------------------------------------------------------
 
-/// Runs `tasks` on `threads` worker threads, returning results in task
-/// order. Results are written into pre-sized slots indexed by task id, so
-/// the output is identical for any thread count.
-pub fn run_parallel<'a, T: Send>(
-    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'a>>,
-    threads: usize,
-) -> Vec<T> {
-    let n = tasks.len();
-    let threads = threads.clamp(1, n.max(1));
-    let queue: Mutex<VecDeque<(usize, Box<dyn FnOnce() -> T + Send + 'a>)>> =
-        Mutex::new(tasks.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = queue.lock().unwrap().pop_front();
-                match job {
-                    Some((i, task)) => {
-                        let r = task();
-                        *slots[i].lock().unwrap() = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker completed every task"))
-        .collect()
-}
+/// Runs `tasks` on a deterministic worker pool; re-exported from
+/// [`dx100_common::pool`], where the full-fidelity bench sweep shares it.
+pub use dx100_common::pool::run_parallel;
 
 // ---------------------------------------------------------------------------
 // Weighted reconstitution
@@ -550,19 +522,6 @@ fn metric_rel_stderr(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn run_parallel_preserves_task_order_for_any_thread_count() {
-        let make = || -> Vec<Box<dyn FnOnce() -> usize + Send>> {
-            (0..37usize)
-                .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
-                .collect()
-        };
-        let expect: Vec<usize> = (0..37usize).map(|i| i * i).collect();
-        for threads in [1, 3, 8, 64] {
-            assert_eq!(run_parallel(make(), threads), expect);
-        }
-    }
 
     #[test]
     fn scale_merge_scales_counters_and_preserves_means() {

@@ -1,16 +1,23 @@
 //! Shared op channels: the driver appends micro-ops or whole lazy streams;
 //! the core drains them.
+//!
+//! The handle is `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>` so a whole
+//! [`System`](crate::System) — and therefore a full-fidelity simulation job
+//! — is `Send`: the parallel sweep executor moves jobs onto worker threads.
+//! Each system is still driven by exactly one thread at a time, so every
+//! lock acquisition is uncontended (the fast path of `std::sync::Mutex` is
+//! a single atomic exchange; `step_bench` shows the swap from `RefCell` is
+//! in the noise).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use dx100_common::CheckpointError;
 use dx100_cpu::{CoreOp, OpStream};
 
 enum Segment {
     Ops(VecDeque<CoreOp>),
-    Gen(Box<dyn OpStream>),
+    Gen(Box<dyn OpStream + Send>),
 }
 
 /// Interior of one core's channel.
@@ -36,7 +43,7 @@ impl ChannelInner {
     }
 
     /// Appends a lazy generator to run after everything queued so far.
-    pub fn push_stream(&mut self, gen: Box<dyn OpStream>) {
+    pub fn push_stream(&mut self, gen: Box<dyn OpStream + Send>) {
         self.segments.push_back(Segment::Gen(gen));
     }
 
@@ -113,25 +120,31 @@ pub enum SegmentState {
 /// Shared handle to a core's channel: the [`System`](crate::System) holds
 /// one side for the driver, the core holds the other as its op stream.
 #[derive(Clone, Default)]
-pub struct ChannelStream(pub Rc<RefCell<ChannelInner>>);
+pub struct ChannelStream(Arc<Mutex<ChannelInner>>);
 
 impl ChannelStream {
     /// Creates an empty channel.
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Locks the channel interior (uncontended in practice: a system and
+    /// its cores live on one thread).
+    pub fn inner(&self) -> MutexGuard<'_, ChannelInner> {
+        self.0.lock().unwrap()
+    }
 }
 
 impl OpStream for ChannelStream {
     fn next_op(&mut self) -> Option<CoreOp> {
-        self.0.borrow_mut().next_op()
+        self.inner().next_op()
     }
 }
 
 impl std::fmt::Debug for ChannelStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChannelStream")
-            .field("empty", &self.0.borrow().is_empty())
+            .field("empty", &self.inner().is_empty())
             .finish()
     }
 }
@@ -144,25 +157,31 @@ mod tests {
     #[test]
     fn ops_then_stream_then_ops() {
         let ch = ChannelStream::new();
-        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
-        ch.0.borrow_mut()
+        ch.inner().push_ops([CoreOp::alu()]);
+        ch.inner()
             .push_stream(Box::new(VecStream::new(vec![CoreOp::load(64, 1)])));
-        ch.0.borrow_mut().push_ops([CoreOp::store(128, 2)]);
+        ch.inner().push_ops([CoreOp::store(128, 2)]);
         let mut s = ch.clone();
         assert_eq!(s.next_op(), Some(CoreOp::alu()));
         assert_eq!(s.next_op(), Some(CoreOp::load(64, 1)));
         assert_eq!(s.next_op(), Some(CoreOp::store(128, 2)));
         assert_eq!(s.next_op(), None);
         // Refill after exhaustion works (driver appends later).
-        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
+        ch.inner().push_ops([CoreOp::alu()]);
         assert_eq!(s.next_op(), Some(CoreOp::alu()));
     }
 
     #[test]
     fn trailing_ops_merge() {
         let ch = ChannelStream::new();
-        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
-        ch.0.borrow_mut().push_ops([CoreOp::alu()]);
-        assert_eq!(ch.0.borrow().segments.len(), 1);
+        ch.inner().push_ops([CoreOp::alu()]);
+        ch.inner().push_ops([CoreOp::alu()]);
+        assert_eq!(ch.inner().segments.len(), 1);
+    }
+
+    #[test]
+    fn channel_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ChannelStream>();
     }
 }

@@ -261,14 +261,14 @@ impl System {
     /// Appends literal micro-ops to a core's program.
     pub fn push_ops<I: IntoIterator<Item = CoreOp>>(&mut self, core: CoreId, ops: I) {
         self.wake();
-        self.channels[core].0.borrow_mut().push_ops(ops);
+        self.channels[core].inner().push_ops(ops);
         self.cores[core].nudge();
     }
 
     /// Appends a lazy op generator to a core's program.
-    pub fn push_stream(&mut self, core: CoreId, gen: Box<dyn OpStream>) {
+    pub fn push_stream(&mut self, core: CoreId, gen: Box<dyn OpStream + Send>) {
         self.wake();
-        self.channels[core].0.borrow_mut().push_stream(gen);
+        self.channels[core].inner().push_stream(gen);
         self.cores[core].nudge();
     }
 
@@ -1062,7 +1062,7 @@ impl dx100_common::Checkpoint for System {
             channels: self
                 .channels
                 .iter()
-                .map(|ch| ch.0.borrow().save_segments())
+                .map(|ch| ch.inner().save_segments())
                 .collect::<Result<_, _>>()?,
             hier: self.hier.clone(),
             dram: self.dram.clone(),
@@ -1098,7 +1098,7 @@ impl dx100_common::Checkpoint for System {
             core.restore_state(cs);
         }
         for (ch, segs) in self.channels.iter().zip(&s.channels) {
-            ch.0.borrow_mut().restore_segments(segs);
+            ch.inner().restore_segments(segs);
         }
         self.hier = s.hier.clone();
         self.dram = s.dram.clone();
@@ -1200,5 +1200,18 @@ impl MemPorts for SystemPorts<'_> {
         } else {
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    use super::*;
+
+    /// The parallel sweep executor moves whole simulation jobs — including
+    /// a constructed [`System`] — onto worker threads.
+    #[test]
+    fn system_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
     }
 }

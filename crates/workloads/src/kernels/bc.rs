@@ -8,7 +8,7 @@
 //! exactly the paper's BC row. Levels come from a BFS computed at setup
 //! (the GAP kernel runs them back to back).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
 use dx100_core::isa::Instruction;
@@ -46,9 +46,9 @@ impl BetweennessCentrality {
 
 /// Baseline per-level stream: frontier edges with conditional atomic adds.
 struct LevelStream {
-    g: Rc<Csr>,
-    frontier: Rc<Vec<u32>>,
-    depth: Rc<Vec<u32>>,
+    g: Arc<Csr>,
+    frontier: Arc<Vec<u32>>,
+    depth: Arc<Vec<u32>>,
     h_k: ArrayHandle,
     h_off: ArrayHandle,
     h_col: ArrayHandle,
@@ -124,7 +124,7 @@ impl KernelRun for BetweennessCentrality {
     }
 
     fn run(&self, mode: Mode, cfg: &SystemConfig, seed: u64) -> WorkloadResult {
-        let g = Rc::new(uniform_graph(self.nodes, 15, seed));
+        let g = Arc::new(uniform_graph(self.nodes, 15, seed));
         let n = self.nodes;
         // Depths and the per-level frontiers (setup, as in the GAP kernel).
         let mut depth = vec![INF; n];
@@ -203,8 +203,8 @@ impl KernelRun for BetweennessCentrality {
             .map(|d| d.tile_elems)
             .unwrap_or(16 * 1024);
         for (d, frontier) in levels.iter().enumerate() {
-            let frontier = Rc::new(frontier.clone());
-            let depth_rc = Rc::new(depth.clone());
+            let frontier = Arc::new(frontier.clone());
+            let depth_rc = Arc::new(depth.clone());
             let g2 = g.clone();
             let d = d as u32;
             let mode2 = mode;

@@ -12,7 +12,7 @@
 //! OpenMP level loop (whose spin-wait synchronization is charged to the
 //! instruction count, Section 6.2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
 use dx100_core::isa::Instruction;
@@ -76,7 +76,7 @@ impl Bfs {
 }
 
 struct Shared {
-    g: Rc<Csr>,
+    g: Arc<Csr>,
     h_u: ArrayHandle,
     h_off: ArrayHandle,
     h_col: ArrayHandle,
@@ -86,9 +86,9 @@ struct Shared {
 /// Baseline per-level stream: for each unvisited node, walk neighbors until
 /// a level-`d` one is found (replayed from the functional state).
 struct LevelStream {
-    shared: Rc<Shared>,
-    unvisited: Rc<Vec<u32>>,
-    depth: Rc<Vec<u32>>,
+    shared: Arc<Shared>,
+    unvisited: Arc<Vec<u32>>,
+    depth: Arc<Vec<u32>>,
     d: u32,
     i: usize,
     hi: usize,
@@ -154,7 +154,7 @@ impl OpStream for LevelStream {
 
 /// The level-loop driver, shared by baseline and DX100 modes.
 struct BfsDriver {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
     mode: Mode,
     tile: usize,
     depth: Vec<u32>,
@@ -181,8 +181,8 @@ impl BfsDriver {
         match self.mode {
             Mode::Baseline | Mode::Dmp => {
                 let parts = chunks(m, sys.num_cores());
-                let unvisited = Rc::new(self.unvisited.clone());
-                let depth = Rc::new(self.depth.clone());
+                let unvisited = Arc::new(self.unvisited.clone());
+                let depth = Arc::new(self.depth.clone());
                 for (c, (lo, hi)) in parts.iter().enumerate() {
                     sys.push_stream(
                         c,
@@ -386,7 +386,7 @@ impl KernelRun for Bfs {
     }
 
     fn run(&self, mode: Mode, cfg: &SystemConfig, seed: u64) -> WorkloadResult {
-        let g = Rc::new(uniform_graph(self.nodes, 15, seed));
+        let g = Arc::new(uniform_graph(self.nodes, 15, seed));
         let n = self.nodes;
         let ref_depth = self.reference(&g);
         let expected = checksum(ref_depth.iter().map(|&v| v as u64));
@@ -426,7 +426,7 @@ impl KernelRun for Bfs {
                 DType::U32,
             ));
         }
-        let shared = Rc::new(Shared {
+        let shared = Arc::new(Shared {
             g: g.clone(),
             h_u,
             h_off,

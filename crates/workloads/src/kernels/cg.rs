@@ -8,7 +8,7 @@
 //! the split the paper describes for CG (mostly streaming, fewer indirect
 //! accesses, hence its smaller 1.9× bandwidth gain).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{value, DType};
 use dx100_core::isa::{Instruction, TileId};
@@ -48,7 +48,7 @@ impl ConjugateGradient {
 }
 
 struct Data {
-    m: Rc<SparseMatrix>,
+    m: Arc<SparseMatrix>,
     h_col: ArrayHandle,
     h_val: ArrayHandle,
     h_x: ArrayHandle,
@@ -80,7 +80,7 @@ impl ConjugateGradient {
         (
             image,
             Data {
-                m: Rc::new(m),
+                m: Arc::new(m),
                 h_col,
                 h_val,
                 h_x,
@@ -94,7 +94,7 @@ impl ConjugateGradient {
 
 /// Baseline SpMV stream over a row range.
 struct SpmvStream {
-    m: Rc<SparseMatrix>,
+    m: Arc<SparseMatrix>,
     h_col: ArrayHandle,
     h_val: ArrayHandle,
     h_x: ArrayHandle,

@@ -10,9 +10,7 @@
 //! multicore correctness, Section 6.1); DX100 eliminates them by being the
 //! sole writer of the histogram region.
 
-// `Arc` so shared dataset handles can also cross replay-thread boundaries
-// in sampled mode (plain `Rc` elsewhere in this module reads the same).
-use std::sync::Arc as Rc;
+use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
 use dx100_sampling::{AccessSink, Resident, SampledRun, SampledStage};
@@ -56,7 +54,7 @@ impl IntegerSort {
 }
 
 struct Data {
-    keys: Rc<Vec<u32>>,
+    keys: Arc<Vec<u32>>,
     h_keys: ArrayHandle,
     h_hist: ArrayHandle,
     h_rank: ArrayHandle,
@@ -89,7 +87,7 @@ impl IntegerSort {
         (
             image,
             Data {
-                keys: Rc::new(keys),
+                keys: Arc::new(keys),
                 h_keys,
                 h_hist,
                 h_rank,
@@ -111,7 +109,7 @@ impl IntegerSort {
 
 /// Baseline phase-1 op stream: `hist[keys[i]] += 1` with atomics.
 struct HistStream {
-    keys: Rc<Vec<u32>>,
+    keys: Arc<Vec<u32>>,
     h_keys: ArrayHandle,
     h_hist: ArrayHandle,
     i: usize,
@@ -144,7 +142,7 @@ impl OpStream for HistStream {
 
 /// Baseline phase-3 op stream: `rank[i] = hist[keys[i]]`.
 struct RankStream {
-    keys: Rc<Vec<u32>>,
+    keys: Arc<Vec<u32>>,
     h_keys: ArrayHandle,
     h_hist: ArrayHandle,
     h_rank: ArrayHandle,
@@ -297,7 +295,7 @@ impl KernelRun for IntegerSort {
             Mode::Baseline => {}
         }
         let cores = sys.num_cores();
-        let checkpoint = Rc::new(sys.save().ok()?);
+        let checkpoint = Arc::new(sys.save().ok()?);
         let tile = cfg.dx100.as_ref().map(|x| x.tile_elems);
         let (h_keys, h_hist, h_rank) = (d.h_keys, d.h_hist, d.h_rank);
 
@@ -314,8 +312,8 @@ impl KernelRun for IntegerSort {
             s.indirect(h_hist.addr_of(ak[i] as u64));
         });
         let ik = d.keys.clone();
-        let hist_install: Rc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
-            Mode::Baseline | Mode::Dmp => Rc::new(move |sys: &mut System, lo, hi| {
+        let hist_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+            Mode::Baseline | Mode::Dmp => Arc::new(move |sys: &mut System, lo, hi| {
                 for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                     sys.push_stream(
                         c,
@@ -332,7 +330,7 @@ impl KernelRun for IntegerSort {
             }),
             Mode::Dx100 => {
                 let tile = tile?;
-                Rc::new(move |sys: &mut System, lo, hi| {
+                Arc::new(move |sys: &mut System, lo, hi| {
                     let jobs: Vec<TileJob> = split_tiles(hi - lo, tile)
                         .iter()
                         .enumerate()
@@ -350,8 +348,8 @@ impl KernelRun for IntegerSort {
             s.alu(1);
             s.stream(h_hist.addr_of(k as u64));
         });
-        let prefix_install: Rc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
-            Rc::new(move |sys: &mut System, lo, hi| {
+        let prefix_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
+            Arc::new(move |sys: &mut System, lo, hi| {
                 sys.push_stream(
                     0,
                     Box::new(PrefixStream {
@@ -371,8 +369,8 @@ impl KernelRun for IntegerSort {
             s.stream(h_rank.addr_of(i as u64));
         });
         let ik = d.keys.clone();
-        let rank_install: Rc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
-            Mode::Baseline | Mode::Dmp => Rc::new(move |sys: &mut System, lo, hi| {
+        let rank_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+            Mode::Baseline | Mode::Dmp => Arc::new(move |sys: &mut System, lo, hi| {
                 for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                     sys.push_stream(
                         c,
@@ -390,7 +388,7 @@ impl KernelRun for IntegerSort {
             }),
             Mode::Dx100 => {
                 let tile = tile?;
-                Rc::new(move |sys: &mut System, lo, hi| {
+                Arc::new(move |sys: &mut System, lo, hi| {
                     let jobs: Vec<TileJob> = split_tiles(hi - lo, tile)
                         .iter()
                         .enumerate()

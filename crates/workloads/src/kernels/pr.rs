@@ -6,9 +6,7 @@
 //! with `next[col[j]] += contrib[src[j]]` over the flattened edge list.
 //! The baseline needs atomic f64 adds; DX100 issues IRMW tiles.
 
-// `Arc` so shared dataset handles can also cross replay-thread boundaries
-// in sampled mode (plain `Rc` elsewhere in this module reads the same).
-use std::sync::Arc as Rc;
+use std::sync::Arc;
 
 use dx100_common::{value, AluOp, DType};
 use dx100_sampling::{AccessSink, Resident, SampledRun, SampledStage};
@@ -48,8 +46,8 @@ impl PageRank {
 }
 
 struct Data {
-    src: Rc<Vec<u32>>,
-    col: Rc<Vec<u32>>,
+    src: Arc<Vec<u32>>,
+    col: Arc<Vec<u32>>,
     h_src: ArrayHandle,
     h_col: ArrayHandle,
     h_contrib: ArrayHandle,
@@ -94,8 +92,8 @@ impl PageRank {
         (
             image,
             Data {
-                src: Rc::new(src),
-                col: Rc::new(col),
+                src: Arc::new(src),
+                col: Arc::new(col),
                 h_src,
                 h_col,
                 h_contrib,
@@ -147,8 +145,8 @@ impl OpStream for ContribStream {
 
 /// Baseline edge scatter: `next[col[j]] += contrib[src[j]]` with atomics.
 struct EdgeStream {
-    src: Rc<Vec<u32>>,
-    col: Rc<Vec<u32>>,
+    src: Arc<Vec<u32>>,
+    col: Arc<Vec<u32>>,
     h_src: ArrayHandle,
     h_col: ArrayHandle,
     h_contrib: ArrayHandle,
@@ -332,7 +330,7 @@ impl KernelRun for PageRank {
             ));
         }
         let cores = sys.num_cores();
-        let checkpoint = Rc::new(sys.save().ok()?);
+        let checkpoint = Arc::new(sys.save().ok()?);
         let (h_src, h_col, h_contrib, h_next) = (d.h_src, d.h_col, d.h_contrib, d.h_next);
         let (h_rank, h_deg) = (d.h_rank, d.h_deg);
 
@@ -346,8 +344,8 @@ impl KernelRun for PageRank {
             s.alu(1);
             s.stream(h_contrib.addr_of(u as u64));
         });
-        let contrib_install: Rc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
-            Rc::new(move |sys: &mut System, lo, hi| {
+        let contrib_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
+            Arc::new(move |sys: &mut System, lo, hi| {
                 for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                     sys.push_stream(
                         c,
@@ -372,10 +370,10 @@ impl KernelRun for PageRank {
             s.alu(1);
             s.indirect(h_next.addr_of(acol[j] as u64));
         });
-        let scatter_install: Rc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+        let scatter_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
             Mode::Baseline | Mode::Dmp => {
                 let (src, col) = (d.src.clone(), d.col.clone());
-                Rc::new(move |sys: &mut System, lo, hi| {
+                Arc::new(move |sys: &mut System, lo, hi| {
                     for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                         sys.push_stream(
                             c,
@@ -396,7 +394,7 @@ impl KernelRun for PageRank {
             }
             Mode::Dx100 => {
                 let tile = cfg.dx100.as_ref()?.tile_elems;
-                Rc::new(move |sys: &mut System, lo, hi| {
+                Arc::new(move |sys: &mut System, lo, hi| {
                     let jobs: Vec<TileJob> = split_tiles(hi - lo, tile)
                         .iter()
                         .enumerate()

@@ -8,7 +8,7 @@
 //! inherently sequential) and handed to DX100 as a host-produced tile for
 //! the IST scatter.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
 use dx100_core::isa::Instruction;
@@ -54,7 +54,7 @@ impl RadixJoinHistogram {
 }
 
 struct Data {
-    keys: Rc<Vec<u64>>,
+    keys: Arc<Vec<u64>>,
     h_key: ArrayHandle,
     h_hist: ArrayHandle,
     h_out: ArrayHandle,
@@ -100,7 +100,7 @@ impl RadixJoinHistogram {
         (
             image,
             Data {
-                keys: Rc::new(keys),
+                keys: Arc::new(keys),
                 h_key,
                 h_hist,
                 h_out,
@@ -115,7 +115,7 @@ impl RadixJoinHistogram {
 
 /// Baseline histogram stream with the mask/shift address calculation.
 struct HistStream {
-    keys: Rc<Vec<u64>>,
+    keys: Arc<Vec<u64>>,
     h_key: ArrayHandle,
     h_hist: ArrayHandle,
     i: usize,
@@ -150,8 +150,8 @@ impl OpStream for HistStream {
 
 /// Baseline scatter stream: dest calc + out store + offset bump.
 struct PartitionStream {
-    keys: Rc<Vec<u64>>,
-    dest: Rc<Vec<u32>>,
+    keys: Arc<Vec<u64>>,
+    dest: Arc<Vec<u32>>,
     h_key: ArrayHandle,
     h_hist: ArrayHandle,
     h_out: ArrayHandle,
@@ -247,7 +247,7 @@ impl KernelRun for RadixJoinHistogram {
                 phases.push(Phase::WaitCoresIdle);
                 // Phase 2+3: prefix (folded into scatter cost) + partition.
                 let parts = chunks(n, cores);
-                let (keys, dest) = (d.keys.clone(), Rc::new(d.dest.clone()));
+                let (keys, dest) = (d.keys.clone(), Arc::new(d.dest.clone()));
                 let (h_key, h_hist, h_out) = (d.h_key, d.h_hist, d.h_out);
                 phases.push(Phase::setup(move |sys| {
                     for (c, (lo, hi)) in parts.iter().enumerate() {

@@ -9,7 +9,7 @@
 //! lockstep rounds — per round one bulk `ILD` per array with a shrinking
 //! active mask.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
 use dx100_core::isa::Instruction;
@@ -50,10 +50,10 @@ impl RadixJoinChaining {
 }
 
 struct Data {
-    probes: Rc<Vec<u32>>,
-    node_keys: Rc<Vec<u32>>,
-    next: Rc<Vec<u32>>,
-    head: Rc<Vec<u32>>,
+    probes: Arc<Vec<u32>>,
+    node_keys: Arc<Vec<u32>>,
+    next: Arc<Vec<u32>>,
+    head: Arc<Vec<u32>>,
     h_probe: ArrayHandle,
     h_head: ArrayHandle,
     h_nkey: ArrayHandle,
@@ -130,10 +130,10 @@ impl RadixJoinChaining {
         (
             image,
             Data {
-                probes: Rc::new(probes),
-                node_keys: Rc::new(node_keys),
-                next: Rc::new(next),
-                head: Rc::new(head),
+                probes: Arc::new(probes),
+                node_keys: Arc::new(node_keys),
+                next: Arc::new(next),
+                head: Arc::new(head),
                 h_probe,
                 h_head,
                 h_nkey,
@@ -150,10 +150,10 @@ impl RadixJoinChaining {
 
 /// Baseline probe stream: hash, dependent chain walk with early exit.
 struct ProbeStream {
-    probes: Rc<Vec<u32>>,
-    node_keys: Rc<Vec<u32>>,
-    next: Rc<Vec<u32>>,
-    head: Rc<Vec<u32>>,
+    probes: Arc<Vec<u32>>,
+    node_keys: Arc<Vec<u32>>,
+    next: Arc<Vec<u32>>,
+    head: Arc<Vec<u32>>,
     h_probe: ArrayHandle,
     h_head: ArrayHandle,
     h_nkey: ArrayHandle,

@@ -9,7 +9,7 @@
 //!   indirect range loops `j = H[K[i]] .. H[K[i]+1]` — two levels of
 //!   indirection behind the Range Fuser.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::{value, AluOp, DType};
 use dx100_core::isa::Instruction;
@@ -75,8 +75,8 @@ impl Ume {
 }
 
 struct DirectData {
-    map: Rc<Vec<u32>>,
-    mask: Rc<Vec<u32>>,
+    map: Arc<Vec<u32>>,
+    mask: Arc<Vec<u32>>,
     h_map: ArrayHandle,
     h_mask: ArrayHandle,
     h_val: ArrayHandle,
@@ -85,12 +85,12 @@ struct DirectData {
 }
 
 struct IndirectData {
-    k_list: Rc<Vec<u32>>,
+    k_list: Arc<Vec<u32>>,
     #[allow(dead_code)]
-    h_off: Rc<Vec<u32>>,
-    c_map: Rc<Vec<u32>>,
-    b_map: Rc<Vec<u32>>,
-    mask: Rc<Vec<u32>>,
+    h_off: Arc<Vec<u32>>,
+    c_map: Arc<Vec<u32>>,
+    b_map: Arc<Vec<u32>>,
+    mask: Arc<Vec<u32>>,
     hk: ArrayHandle,
     hh: ArrayHandle,
     hc: ArrayHandle,
@@ -100,7 +100,7 @@ struct IndirectData {
     hout: ArrayHandle,
     ref_out: Vec<f64>,
     /// Flattened (outer, j) pairs for the baseline stream.
-    flat: Rc<Vec<(u32, u32)>>,
+    flat: Arc<Vec<(u32, u32)>>,
 }
 
 impl Ume {
@@ -127,8 +127,8 @@ impl Ume {
         (
             image,
             DirectData {
-                map: Rc::new(map),
-                mask: Rc::new(mask),
+                map: Arc::new(map),
+                mask: Arc::new(mask),
                 h_map,
                 h_mask,
                 h_val,
@@ -193,11 +193,11 @@ impl Ume {
         (
             image,
             IndirectData {
-                k_list: Rc::new(k_list),
-                h_off: Rc::new(h_off),
-                c_map: Rc::new(c_map),
-                b_map: Rc::new(b_map),
-                mask: Rc::new(mask),
+                k_list: Arc::new(k_list),
+                h_off: Arc::new(h_off),
+                c_map: Arc::new(c_map),
+                b_map: Arc::new(b_map),
+                mask: Arc::new(mask),
                 hk,
                 hh,
                 hc,
@@ -206,7 +206,7 @@ impl Ume {
                 ha,
                 hout,
                 ref_out,
-                flat: Rc::new(flat),
+                flat: Arc::new(flat),
             },
         )
     }
@@ -214,8 +214,8 @@ impl Ume {
 
 /// Baseline direct stream: `if mask[i] >= F { grad[map[i]] += val[i] }`.
 struct DirectStream {
-    d_map: Rc<Vec<u32>>,
-    d_mask: Rc<Vec<u32>>,
+    d_map: Arc<Vec<u32>>,
+    d_mask: Arc<Vec<u32>>,
     h_map: ArrayHandle,
     h_mask: ArrayHandle,
     h_val: ArrayHandle,
@@ -262,10 +262,10 @@ impl OpStream for DirectStream {
 /// Baseline indirect stream over the flattened (outer, j) pairs:
 /// `if mask[j] >= F { out[j] = A[B[C[j]]] }` plus the per-outer range setup.
 struct IndirectStream {
-    d: Rc<Vec<(u32, u32)>>,
-    c_map: Rc<Vec<u32>>,
-    b_map: Rc<Vec<u32>>,
-    mask: Rc<Vec<u32>>,
+    d: Arc<Vec<(u32, u32)>>,
+    c_map: Arc<Vec<u32>>,
+    b_map: Arc<Vec<u32>>,
+    mask: Arc<Vec<u32>>,
     hk: ArrayHandle,
     hh: ArrayHandle,
     hc: ArrayHandle,

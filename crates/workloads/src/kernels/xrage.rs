@@ -2,7 +2,7 @@
 //! trace shaped like the xRAGE multi-physics application's accesses
 //! (short strided bursts at scattered bases).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dx100_common::DType;
 use dx100_core::isa::Instruction;
@@ -38,7 +38,7 @@ impl Xrage {
 }
 
 struct Data {
-    pattern: Rc<Vec<u32>>,
+    pattern: Arc<Vec<u32>>,
     h_pat: ArrayHandle,
     h_val: ArrayHandle,
     h_out: ArrayHandle,
@@ -66,7 +66,7 @@ impl Xrage {
         (
             image,
             Data {
-                pattern: Rc::new(pattern),
+                pattern: Arc::new(pattern),
                 h_pat,
                 h_val,
                 h_out,
@@ -79,7 +79,7 @@ impl Xrage {
 
 /// Baseline scatter stream: `out[pat[i]] = val[i]`.
 struct ScatterStream {
-    pattern: Rc<Vec<u32>>,
+    pattern: Arc<Vec<u32>>,
     h_pat: ArrayHandle,
     h_val: ArrayHandle,
     h_out: ArrayHandle,

@@ -22,10 +22,12 @@ fn bench_dram(c: &mut Criterion) {
             let mut got = 0;
             let mut now = 0;
             while got < 4096 {
-                while sent < 4096 && dram.try_enqueue(
-                    MemRequest::read(sent, LineAddr(sent.wrapping_mul(2654435761) % (1 << 20))),
-                    now,
-                ) {
+                while sent < 4096
+                    && dram.try_enqueue(
+                        MemRequest::read(sent, LineAddr(sent.wrapping_mul(2654435761) % (1 << 20))),
+                        now,
+                    )
+                {
                     sent += 1;
                 }
                 dram.tick(now);
@@ -63,7 +65,12 @@ fn bench_functional_gather(c: &mut Criterion) {
                         RegId::new(1),
                         RegId::new(2),
                     ),
-                    Instruction::ild(dx100_common::DType::U32, a.base(), TileId::new(1), TileId::new(0)),
+                    Instruction::ild(
+                        dx100_common::DType::U32,
+                        a.base(),
+                        TileId::new(1),
+                        TileId::new(0),
+                    ),
                 ],
                 &mut mem,
             )
@@ -78,8 +85,22 @@ fn bench_functional_gather(c: &mut Criterion) {
 fn bench_allmiss_pattern(c: &mut Criterion) {
     let dram = DramConfig::ddr4_3200_2ch();
     for (name, s) in [
-        ("rbh0", Scenario { rbh: 0.0, chi: true, bgi: true }),
-        ("rbh100", Scenario { rbh: 1.0, chi: true, bgi: true }),
+        (
+            "rbh0",
+            Scenario {
+                rbh: 0.0,
+                chi: true,
+                bgi: true,
+            },
+        ),
+        (
+            "rbh100",
+            Scenario {
+                rbh: 1.0,
+                chi: true,
+                bgi: true,
+            },
+        ),
     ] {
         c.bench_with_input(BenchmarkId::new("allmiss_pattern", name), &s, |b, s| {
             b.iter(|| build_indices(*s, LineAddr(4096), &dram))
@@ -93,7 +114,15 @@ fn bench_full_system(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_system_allhit");
     g.sample_size(10);
     g.bench_function("baseline", |b| {
-        b.iter(|| run_allhit(MicroKind::GatherFull, false, &SystemConfig::paper_baseline(), 1).cycles)
+        b.iter(|| {
+            run_allhit(
+                MicroKind::GatherFull,
+                false,
+                &SystemConfig::paper_baseline(),
+                1,
+            )
+            .cycles
+        })
     });
     g.bench_function("dx100", |b| {
         b.iter(|| run_allhit(MicroKind::GatherFull, true, &SystemConfig::paper_dx100(), 1).cycles)

@@ -30,7 +30,9 @@ fn sparse_chase(loads: u64) -> (MemoryImage, Vec<CoreOp>) {
     let mut ops = Vec::new();
     let mut x = 0x9e3779b97f4a7c15u64;
     for i in 0..loads {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (x >> 33) % (1 << 20);
         let load = CoreOp::load(a.addr_of(idx), 1);
         ops.push(if i == 0 { load } else { load.with_dep(1) });

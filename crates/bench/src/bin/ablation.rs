@@ -25,16 +25,26 @@ fn main() {
         variant("no-interleave", |d| d.interleave = false),
         variant("llc-inject", |d| d.direct_dram = false),
     ];
-    let worst = Scenario { rbh: 0.0, chi: false, bgi: false };
+    let worst = Scenario {
+        rbh: 0.0,
+        chi: false,
+        bgi: false,
+    };
     let kernels: Vec<Box<dyn KernelRun>> = vec![
         Box::new(IntegerSort::new(Scale(scale * 0.5))),
         Box::new(Ume::zone(Scale(scale * 0.5), false)),
     ];
     println!("Ablations — DX100 cycles (lower is better) and BW utilization\n");
-    println!("{:<14} {:>12} {:>8} {:>12} {:>12}", "variant", "allmiss-cyc", "bw%", "is-cyc", "gzz-cyc");
+    println!(
+        "{:<14} {:>12} {:>8} {:>12} {:>12}",
+        "variant", "allmiss-cyc", "bw%", "is-cyc", "gzz-cyc"
+    );
     for (name, cfg) in variants {
         let am = run_allmiss(worst, true, &cfg);
-        let mut cols = vec![format!("{:>12}", am.cycles), format!("{:>8.1}", am.bandwidth_utilization() * 100.0)];
+        let mut cols = vec![
+            format!("{:>12}", am.cycles),
+            format!("{:>8.1}", am.bandwidth_utilization() * 100.0),
+        ];
         for k in &kernels {
             eprintln!("{name}: {}", k.name());
             let r = k.run(Mode::Dx100, &cfg, args.seed);

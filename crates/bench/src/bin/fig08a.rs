@@ -21,7 +21,10 @@ fn main() {
             Json::Arr(
                 rows.iter()
                     .map(|(label, speedup)| {
-                        obj([("name", label.to_string().into()), ("speedup", (*speedup).into())])
+                        obj([
+                            ("name", label.to_string().into()),
+                            ("speedup", (*speedup).into()),
+                        ])
                     })
                     .collect(),
             ),

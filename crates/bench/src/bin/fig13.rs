@@ -5,8 +5,8 @@
 //! geomean indirect-access count (normalized to the 1K row) and the mean
 //! DX100-machine row-buffer hit rate.
 
-use dx100_common::stats::geomean;
 use dx100_bench::BenchArgs;
+use dx100_common::stats::geomean;
 use dx100_sim::SystemConfig;
 use dx100_workloads::{all_kernels, Mode, Scale};
 
@@ -37,8 +37,8 @@ fn main() {
             speeds.push(dx.stats.speedup_over(&base.stats));
             if let Some(d) = &dx.stats.dx100 {
                 accesses.push(
-                    (d.indirect_line_reads + d.indirect_line_writes + d.stream_line_requests)
-                        .max(1) as f64,
+                    (d.indirect_line_reads + d.indirect_line_writes + d.stream_line_requests).max(1)
+                        as f64,
                 );
             }
             rbh.push(dx.stats.row_buffer_hit_rate());
@@ -46,7 +46,11 @@ fn main() {
         if access_ref.is_empty() {
             access_ref = accesses.clone();
         }
-        let rel: Vec<f64> = accesses.iter().zip(&access_ref).map(|(a, r)| a / r).collect();
+        let rel: Vec<f64> = accesses
+            .iter()
+            .zip(&access_ref)
+            .map(|(a, r)| a / r)
+            .collect();
         println!(
             "tile {tile:>5}: speedup {:>5.2}x   accesses vs 1K {:>5.2}x   dx100 RBH {:>5.1}%",
             geomean(&speeds),

@@ -74,8 +74,14 @@ fn main() {
 
     println!("\n=== raw rows ===");
     for r in rows {
-        println!("{}", summarize(&format!("{} base ", r.name), &r.baseline.stats));
-        println!("{}", summarize(&format!("{} dx100", r.name), &r.dx100.stats));
+        println!(
+            "{}",
+            summarize(&format!("{} base ", r.name), &r.baseline.stats)
+        );
+        println!(
+            "{}",
+            summarize(&format!("{} dx100", r.name), &r.dx100.stats)
+        );
     }
     fig.emit(&args, "main_results");
 }

@@ -4,9 +4,30 @@ use dx100_workloads::micro::allmiss::{run_allmiss, Scenario};
 
 fn main() {
     for (name, s) in [
-        ("worst", Scenario { rbh: 0.0, chi: false, bgi: false }),
-        ("rbh100-nobgi", Scenario { rbh: 1.0, chi: true, bgi: false }),
-        ("best", Scenario { rbh: 1.0, chi: true, bgi: true }),
+        (
+            "worst",
+            Scenario {
+                rbh: 0.0,
+                chi: false,
+                bgi: false,
+            },
+        ),
+        (
+            "rbh100-nobgi",
+            Scenario {
+                rbh: 1.0,
+                chi: true,
+                bgi: false,
+            },
+        ),
+        (
+            "best",
+            Scenario {
+                rbh: 1.0,
+                chi: true,
+                bgi: true,
+            },
+        ),
     ] {
         let mut cfg = SystemConfig::paper_dx100();
         if std::env::var("ONE_TILE").is_ok() {
@@ -26,6 +47,5 @@ fn main() {
             d.rowtable_stall_cycles,
             d.stream_line_requests,
         );
-
     }
 }

@@ -14,9 +14,17 @@ fn main() {
         println!("{:<18} {:>10.3} {:>10.2}", c.name, c.area_mm2, c.power_mw);
     }
     let m = AreaModel::paper();
-    println!("{:<18} {:>10.3} {:>10.2}", "Total", m.total_area_28nm_mm2(), m.total_power_28nm_mw());
+    println!(
+        "{:<18} {:>10.3} {:>10.2}",
+        "Total",
+        m.total_area_28nm_mm2(),
+        m.total_power_28nm_mw()
+    );
     println!();
-    println!("scaled to 14 nm: {:.2} mm^2 (paper: ~1.5)", m.total_area_14nm_mm2());
+    println!(
+        "scaled to 14 nm: {:.2} mm^2 (paper: ~1.5)",
+        m.total_area_14nm_mm2()
+    );
     println!(
         "processor overhead: {:.1}% of a 4-core Skylake (paper: 3.7%)",
         m.processor_overhead_fraction() * 100.0

@@ -192,7 +192,9 @@ pub struct BenchArgs {
 
 /// Default worker-thread count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for BenchArgs {
@@ -232,10 +234,8 @@ impl BenchArgs {
         let mut out = BenchArgs::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |flag: &str| {
-                it.next()
-                    .ok_or_else(|| format!("{flag} requires a value"))
-            };
+            let mut value =
+                |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
             match arg.as_str() {
                 "--scale" => {
                     let v = value("--scale")?;
@@ -314,7 +314,10 @@ impl BenchArgs {
     /// Call once after the figure's rows are measured.
     pub fn emit_artifacts(&self, generator: &str, rows: &[KernelRow]) {
         if let Some(path) = &self.json {
-            write_or_die(path, &(report_json(generator, self.scale, rows).to_string() + "\n"));
+            write_or_die(
+                path,
+                &(report_json(generator, self.scale, rows).to_string() + "\n"),
+            );
             eprintln!("wrote report to {}", path.display());
         }
         if let Some(path) = &self.trace {
@@ -461,8 +464,19 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let args = parse(&[
-            "--scale", "0.05", "--json", "r.json", "--trace", "t.json", "--epoch", "5000",
-            "--sample", "--threads", "4", "--seed", "7",
+            "--scale",
+            "0.05",
+            "--json",
+            "r.json",
+            "--trace",
+            "t.json",
+            "--epoch",
+            "5000",
+            "--sample",
+            "--threads",
+            "4",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert_eq!(args.scale, 0.05);
@@ -507,7 +521,10 @@ mod tests {
             parsed.get("schema_version").and_then(Json::as_f64),
             Some(SCHEMA_VERSION as f64)
         );
-        assert_eq!(parsed.get("generator").and_then(Json::as_str), Some("figXX"));
+        assert_eq!(
+            parsed.get("generator").and_then(Json::as_str),
+            Some("figXX")
+        );
         assert!(parsed.get("rows").and_then(Json::as_arr).is_some());
     }
 }

@@ -74,7 +74,13 @@ pub fn run_figure(args: &BenchArgs, with_dmp: bool) -> FigureRun {
         }
         run_sampled(args.scale, with_dmp, args.seed, args.threads)
     } else {
-        run_full(args.scale, with_dmp, args.seed, &args.observability(), args.threads)
+        run_full(
+            args.scale,
+            with_dmp,
+            args.seed,
+            &args.observability(),
+            args.threads,
+        )
     }
 }
 
@@ -209,8 +215,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
     for (ki, k) in kernels.iter().enumerate() {
         for (mode, cfg) in &modes {
             let windowed = k.prepare_sampled(*mode, cfg, seed).map(|run| {
-                let plan =
-                    sampling::plan(&run, seed, &format!("{}/{}", k.name(), mode.label()));
+                let plan = sampling::plan(&run, seed, &format!("{}/{}", k.name(), mode.label()));
                 (run, plan, WarmCache::default())
             });
             preps.push(Prep {
@@ -379,6 +384,7 @@ impl FigureRun {
                                                 i.errors.row_buffer_hit_rate.into(),
                                             ),
                                             ("llc_mpki", i.errors.llc_mpki.into()),
+                                            ("lower_bound", i.errors.lower_bound.into()),
                                         ]),
                                     ),
                                 ])
@@ -508,7 +514,11 @@ mod tests {
         let r1 = run_figure(&a1, false);
         let r4 = run_figure(&a4, false);
         for (x, y) in r1.rows.iter().zip(&r4.rows) {
-            assert_eq!(x.baseline.stats.cycles, y.baseline.stats.cycles, "{}", x.name);
+            assert_eq!(
+                x.baseline.stats.cycles, y.baseline.stats.cycles,
+                "{}",
+                x.name
+            );
             assert_eq!(x.dx100.stats.cycles, y.dx100.stats.cycles, "{}", x.name);
         }
     }

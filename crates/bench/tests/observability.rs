@@ -96,7 +96,11 @@ fn epoch_series_covers_the_run() {
     // series also covers the post-ROI drain, so it may slightly exceed the
     // snapshot taken at `roi_end`).
     let total: u64 = stats.epochs.iter().map(|e| e.instructions).sum();
-    assert!(total >= stats.instructions, "{total} < {}", stats.instructions);
+    assert!(
+        total >= stats.instructions,
+        "{total} < {}",
+        stats.instructions
+    );
     let reads: u64 = stats.epochs.iter().map(|e| e.dram_reads).sum();
     assert!(reads >= stats.dram.reads, "{reads} < {}", stats.dram.reads);
 }
@@ -107,9 +111,7 @@ fn report_includes_observability_fields() {
     let parsed = Json::parse(&run_stats_json(&stats).to_string()).unwrap();
     let epochs = parsed.get("epochs").and_then(Json::as_arr).unwrap();
     assert_eq!(epochs.len(), stats.epochs.len());
-    assert!(
-        parsed.get("trace_events").and_then(Json::as_f64).unwrap() > 0.0
-    );
+    assert!(parsed.get("trace_events").and_then(Json::as_f64).unwrap() > 0.0);
 }
 
 #[test]

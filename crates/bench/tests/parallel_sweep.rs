@@ -101,11 +101,15 @@ fn figure_run_walltime_is_per_job_and_ordered() {
     let wt = fig.walltime_json("fig09").to_string();
     let parsed = dx100_common::json::Json::parse(&wt).unwrap();
     assert_eq!(
-        parsed.get("threads").and_then(dx100_common::json::Json::as_f64),
+        parsed
+            .get("threads")
+            .and_then(dx100_common::json::Json::as_f64),
         Some(4.0)
     );
     assert_eq!(
-        parsed.get("jobs").and_then(dx100_common::json::Json::as_f64),
+        parsed
+            .get("jobs")
+            .and_then(dx100_common::json::Json::as_f64),
         Some(fig.walltime.len() as f64)
     );
 }

@@ -1,0 +1,98 @@
+//! Determinism of the sampled sweep's report.
+//!
+//! The `--sample` pipeline estimates per-metric sampling errors by
+//! accumulating floats across clusters; the accumulation order is part of
+//! the report contract. Running the same sampled sweep twice — and at
+//! different thread counts — must serialize to byte-identical `--json`
+//! reports, the `sampling.runs[*].errors` block included.
+
+use dx100_bench::BenchArgs;
+use dx100_common::json::Json;
+
+/// Minimum dataset sizes: every kernel runs, nothing takes long in debug.
+const SMOKE_SCALE: f64 = 1e-9;
+
+fn sampled_args(threads: usize) -> BenchArgs {
+    BenchArgs {
+        scale: SMOKE_SCALE,
+        sample: true,
+        threads,
+        seed: 1,
+        ..BenchArgs::default()
+    }
+}
+
+/// Blanks the `sampling.threads` metadata field, the one spot where the
+/// worker count legitimately appears in the report.
+fn normalize_threads(report: Json) -> Json {
+    match report {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| {
+                    let v = match (k.as_str(), v) {
+                        ("sampling", Json::Obj(s)) => Json::Obj(
+                            s.into_iter()
+                                .map(|(sk, sv)| {
+                                    if sk == "threads" {
+                                        (sk, Json::Int(0))
+                                    } else {
+                                        (sk, sv)
+                                    }
+                                })
+                                .collect(),
+                        ),
+                        (_, v) => v,
+                    };
+                    (k, v)
+                })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[test]
+fn sampled_report_is_byte_identical_across_repeats_and_threads() {
+    let first = dx100_bench::run_figure(&sampled_args(2), false).report_json("fig09");
+    let again = dx100_bench::run_figure(&sampled_args(2), false).report_json("fig09");
+    let serial = dx100_bench::run_figure(&sampled_args(1), false).report_json("fig09");
+
+    let first = first.to_string();
+    let again = again.to_string();
+    assert_eq!(
+        first, again,
+        "same sweep, same threads: report must not drift"
+    );
+    // Aside from the recorded worker count, the serial report matches too.
+    assert_eq!(
+        normalize_threads(Json::parse(&first).unwrap()).to_string(),
+        normalize_threads(serial).to_string(),
+        "thread count must be invisible in the measured report"
+    );
+
+    // The errors block is present and well-formed for every sampled run.
+    let parsed = Json::parse(&first).unwrap();
+    let runs = parsed
+        .get("sampling")
+        .and_then(|s| s.get("runs"))
+        .and_then(Json::as_arr)
+        .expect("sampled report carries a sampling.runs array");
+    assert!(
+        !runs.is_empty(),
+        "at least one kernel samples at smoke scale"
+    );
+    for run in runs {
+        let errors = run.get("errors").expect("each run reports its errors");
+        for metric in ["cycles", "row_buffer_hit_rate", "llc_mpki"] {
+            let v = errors.get(metric).and_then(Json::as_f64).unwrap();
+            assert!(v.is_finite() && v >= 0.0, "{metric} error malformed: {v}");
+        }
+        // The lower-bound flag is always present, so report consumers can
+        // tell "no spread observed" from "error genuinely zero".
+        assert!(
+            matches!(errors.get("lower_bound"), Some(Json::Bool(_))),
+            "errors.lower_bound must be a boolean"
+        );
+    }
+}

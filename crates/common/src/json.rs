@@ -82,17 +82,24 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 
 /// Builds an object from `(key, value)` pairs, preserving order.
 pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Serializes without whitespace (and provides `to_string`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
 }
 
 impl Json {
-    /// Serializes without whitespace.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     /// Appends the serialized form to `out`.
     pub fn write(&self, out: &mut String) {
         match self {
@@ -306,9 +313,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -328,9 +333,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(
-                    std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
-                );
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
             }
         }
     }

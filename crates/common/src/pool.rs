@@ -11,6 +11,9 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+/// A boxed one-shot task submitted to [`run_parallel`].
+pub type PoolTask<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
 /// Runs `tasks` on `threads` worker threads, returning results in task
 /// order. Results are written into pre-sized slots indexed by task id, so
 /// the output is identical for any thread count.
@@ -19,13 +22,10 @@ use std::sync::Mutex;
 /// contend on the queue. Panics in a task propagate: the scope join
 /// re-raises the worker's panic, so a poisoned run never returns partial
 /// results.
-pub fn run_parallel<'a, T: Send>(
-    tasks: Vec<Box<dyn FnOnce() -> T + Send + 'a>>,
-    threads: usize,
-) -> Vec<T> {
+pub fn run_parallel<'a, T: Send>(tasks: Vec<PoolTask<'a, T>>, threads: usize) -> Vec<T> {
     let n = tasks.len();
     let threads = threads.clamp(1, n.max(1));
-    let queue: Mutex<VecDeque<(usize, Box<dyn FnOnce() -> T + Send + 'a>)>> =
+    let queue: Mutex<VecDeque<(usize, PoolTask<'a, T>)>> =
         Mutex::new(tasks.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -44,7 +44,11 @@ pub fn run_parallel<'a, T: Send>(
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker completed every task"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("worker completed every task")
+        })
         .collect()
 }
 

@@ -5,37 +5,19 @@
 //! after they are sent. [`DelayQueue`] preserves FIFO order among messages
 //! that become ready on the same cycle, which keeps the whole simulation
 //! deterministic.
+//!
+//! The queue is a flat ring (`VecDeque`) kept sorted by ready cycle rather
+//! than a `BinaryHeap`: almost every producer schedules at `now + fixed
+//! latency` with a monotonically advancing `now`, so pushes append at the
+//! back in O(1), and both `pop_ready` and `next_ready_at` are a single
+//! front-slot probe — no sift-down, no per-entry sequence numbers. Items
+//! inserted for the same ready cycle land *after* existing entries with
+//! that cycle (stable insertion), which is exactly the FIFO tie-break the
+//! old `(ready_at, seq)` heap ordering provided.
 
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::types::Cycle;
-
-/// Heap entry: ordered by ready cycle, then by insertion sequence so that
-/// same-cycle messages pop in FIFO order.
-#[derive(Clone)]
-struct Entry<T> {
-    ready_at: Cycle,
-    seq: u64,
-    item: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.ready_at == other.ready_at && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the smallest (earliest) pops first.
-        (other.ready_at, other.seq).cmp(&(self.ready_at, self.seq))
-    }
-}
 
 /// A queue whose items become visible only once the simulation clock reaches
 /// their ready cycle.
@@ -53,52 +35,58 @@ impl<T> Ord for Entry<T> {
 /// ```
 #[derive(Clone)]
 pub struct DelayQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
-    seq: u64,
+    /// `(ready_at, item)`, sorted by `ready_at`; ties in insertion order.
+    ring: VecDeque<(Cycle, T)>,
 }
 
 impl<T> DelayQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         DelayQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            ring: VecDeque::new(),
         }
     }
 
     /// Schedules `item` to become ready at absolute cycle `ready_at`.
+    #[inline]
     pub fn push_at(&mut self, ready_at: Cycle, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry {
-            ready_at,
-            seq,
-            item,
-        });
+        // Fast path: ready times are almost always nondecreasing (fixed
+        // latencies, advancing clock), so the slot is the back of the ring.
+        if self.ring.back().is_none_or(|&(t, _)| t <= ready_at) {
+            self.ring.push_back((ready_at, item));
+            return;
+        }
+        // Out-of-order push: stable insert after any equal-cycle entries.
+        let idx = self.ring.partition_point(|&(t, _)| t <= ready_at);
+        self.ring.insert(idx, (ready_at, item));
     }
 
     /// Pops the oldest item whose ready cycle is `<= now`, if any.
+    #[inline]
     pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
-        if self.heap.peek().is_some_and(|e| e.ready_at <= now) {
-            Some(self.heap.pop().unwrap().item)
+        if self.ring.front().is_some_and(|&(t, _)| t <= now) {
+            self.ring.pop_front().map(|(_, item)| item)
         } else {
             None
         }
     }
 
     /// Cycle at which the next item becomes ready, if the queue is non-empty.
+    #[inline]
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.ready_at)
+        self.ring.front().map(|&(t, _)| t)
     }
 
     /// Number of queued items (ready or not).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring.len()
     }
 
     /// Whether the queue holds no items at all.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.ring.is_empty()
     }
 }
 
@@ -111,7 +99,7 @@ impl<T> Default for DelayQueue<T> {
 impl<T> std::fmt::Debug for DelayQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DelayQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.ring.len())
             .field("next_ready_at", &self.next_ready_at())
             .finish()
     }
@@ -155,6 +143,19 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_push_ties_stay_fifo() {
+        let mut q = DelayQueue::new();
+        q.push_at(10, "first@10");
+        q.push_at(20, "only@20");
+        // Pushed after, ready at an earlier-seen cycle: must land *after*
+        // the existing entry at cycle 10.
+        q.push_at(10, "second@10");
+        assert_eq!(q.pop_ready(100), Some("first@10"));
+        assert_eq!(q.pop_ready(100), Some("second@10"));
+        assert_eq!(q.pop_ready(100), Some("only@20"));
+    }
+
+    #[test]
     fn len_tracks_contents() {
         let mut q = DelayQueue::new();
         assert!(q.is_empty());
@@ -163,5 +164,147 @@ mod tests {
         assert_eq!(q.len(), 2);
         let _ = q.pop_ready(5);
         assert_eq!(q.len(), 1);
+    }
+}
+
+/// Differential property tests: the flat-ring queue must agree op-for-op
+/// with the original `BinaryHeap` implementation (ordered by `(ready_at,
+/// insertion seq)`), including FIFO order among same-cycle ties.
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BinaryHeap;
+
+    /// The pre-flat-ring implementation, kept verbatim as the reference
+    /// model for the differential test below.
+    struct HeapEntry<T> {
+        ready_at: Cycle,
+        seq: u64,
+        item: T,
+    }
+
+    impl<T> PartialEq for HeapEntry<T> {
+        fn eq(&self, other: &Self) -> bool {
+            self.ready_at == other.ready_at && self.seq == other.seq
+        }
+    }
+    impl<T> Eq for HeapEntry<T> {}
+    impl<T> PartialOrd for HeapEntry<T> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<T> Ord for HeapEntry<T> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (other.ready_at, other.seq).cmp(&(self.ready_at, self.seq))
+        }
+    }
+
+    struct HeapDelayQueue<T> {
+        heap: BinaryHeap<HeapEntry<T>>,
+        seq: u64,
+    }
+
+    impl<T> HeapDelayQueue<T> {
+        fn new() -> Self {
+            HeapDelayQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push_at(&mut self, ready_at: Cycle, item: T) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(HeapEntry {
+                ready_at,
+                seq,
+                item,
+            });
+        }
+        fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+            if self.heap.peek().is_some_and(|e| e.ready_at <= now) {
+                Some(self.heap.pop().unwrap().item)
+            } else {
+                None
+            }
+        }
+        fn next_ready_at(&self) -> Option<Cycle> {
+            self.heap.peek().map(|e| e.ready_at)
+        }
+        fn len(&self) -> usize {
+            self.heap.len()
+        }
+    }
+
+    /// One step of a random schedule. Ready cycles are drawn from a small
+    /// range so same-cycle ties are common; pushes are a mix of monotonic
+    /// (`now + delta`, the common fixed-latency shape) and absolute
+    /// (out-of-order) times.
+    #[derive(Debug, Clone)]
+    enum Op {
+        PushAfter(Cycle),
+        PushAbsolute(Cycle),
+        PopReady,
+        Advance(Cycle),
+        Probe,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Arms are repeated in lieu of weights (the vendored prop_oneof!
+        // draws uniformly): pushes and pops dominate, probes are rarer.
+        prop_oneof![
+            (0u64..8).prop_map(Op::PushAfter),
+            (0u64..8).prop_map(Op::PushAfter),
+            (0u64..8).prop_map(Op::PushAfter),
+            (0u64..32).prop_map(Op::PushAbsolute),
+            (0u64..32).prop_map(Op::PushAbsolute),
+            Just(Op::PopReady),
+            Just(Op::PopReady),
+            Just(Op::PopReady),
+            (0u64..4).prop_map(Op::Advance),
+            (0u64..4).prop_map(Op::Advance),
+            Just(Op::Probe),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn flat_ring_matches_heap_reference(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut ring = DelayQueue::new();
+            let mut heap = HeapDelayQueue::new();
+            let mut now: Cycle = 0;
+            let mut tag: u32 = 0;
+            for op in ops {
+                match op {
+                    Op::PushAfter(d) => {
+                        ring.push_at(now + d, tag);
+                        heap.push_at(now + d, tag);
+                        tag += 1;
+                    }
+                    Op::PushAbsolute(t) => {
+                        ring.push_at(t, tag);
+                        heap.push_at(t, tag);
+                        tag += 1;
+                    }
+                    Op::PopReady => {
+                        prop_assert_eq!(ring.pop_ready(now), heap.pop_ready(now));
+                    }
+                    Op::Advance(d) => now += d,
+                    Op::Probe => {
+                        prop_assert_eq!(ring.next_ready_at(), heap.next_ready_at());
+                        prop_assert_eq!(ring.len(), heap.len());
+                    }
+                }
+            }
+            // Drain both to the end: full pop order must agree.
+            loop {
+                let (a, b) = (ring.pop_ready(Cycle::MAX), heap.pop_ready(Cycle::MAX));
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -40,6 +40,13 @@ impl RunningAverage {
     /// each cycle.
     #[inline]
     pub fn sample_n(&mut self, v: f64, n: u64) {
+        // Catch callers that would break the bit-exactness contract above:
+        // `v * n` is only exact when `v` sits on a dyadic grid. m <= 32 is
+        // far coarser than any counter in the workspace actually uses.
+        debug_assert!(
+            (v * (1u64 << 32) as f64).fract() == 0.0,
+            "sample_n requires a dyadic-grid value (k/2^m, m <= 32), got {v}"
+        );
         self.sum += v * n as f64;
         self.count += n;
     }
@@ -300,5 +307,54 @@ mod tests {
     fn mean_matches_definition() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    mod sample_n_bit_exactness {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// `sample_n(v, n)` must be bit-identical to `n` repeated
+        /// `sample(v)` calls for grid-representable inputs — the contract
+        /// batched skip-span crediting relies on. Exercised for integers
+        /// and k/2^m fractions, interleaved with a prior history so the
+        /// accumulated sum is nontrivial.
+        fn assert_bit_identical(history: &[f64], v: f64, n: u64) {
+            let mut batched = RunningAverage::new();
+            let mut repeated = RunningAverage::new();
+            for &h in history {
+                batched.sample(h);
+                repeated.sample(h);
+            }
+            batched.sample_n(v, n);
+            for _ in 0..n {
+                repeated.sample(v);
+            }
+            assert_eq!(batched.sum().to_bits(), repeated.sum().to_bits());
+            assert_eq!(batched.count(), repeated.count());
+        }
+
+        proptest! {
+            #[test]
+            fn integers(
+                history in proptest::collection::vec((-1000i64..1000).prop_map(|k| k as f64), 0..8),
+                v in -1000i64..1000,
+                n in 1u64..4096,
+            ) {
+                assert_bit_identical(&history, v as f64, n);
+            }
+
+            #[test]
+            fn dyadic_fractions(
+                history in proptest::collection::vec(
+                    (-1000i64..1000, 0u32..20).prop_map(|(k, m)| k as f64 / (1u64 << m) as f64),
+                    0..8,
+                ),
+                k in -1000i64..1000,
+                m in 0u32..20,
+                n in 1u64..4096,
+            ) {
+                assert_bit_identical(&history, k as f64 / (1u64 << m) as f64, n);
+            }
+        }
     }
 }

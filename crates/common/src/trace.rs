@@ -249,7 +249,7 @@ pub fn chrome_trace_json(runs: &[(String, &TraceBuffer)]) -> String {
             format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
                  \"args\":{{\"name\":{}}}}}",
-                Json::from(label.as_str()).to_string()
+                Json::from(label.as_str())
             ),
         );
         for (tid, track) in buf.tracks().iter().enumerate() {
@@ -258,7 +258,7 @@ pub fn chrome_trace_json(runs: &[(String, &TraceBuffer)]) -> String {
                 format!(
                     "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
                      \"args\":{{\"name\":{}}}}}",
-                    Json::from(track.as_str()).to_string()
+                    Json::from(track.as_str())
                 ),
             );
         }
@@ -280,7 +280,10 @@ pub fn chrome_trace_json(runs: &[(String, &TraceBuffer)]) -> String {
                 format!(
                     "{{\"name\":{name},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
                      \"pid\":{pid},\"tid\":{}}}",
-                    ev.cat, ev.ts, dur.max(1), ev.track
+                    ev.cat,
+                    ev.ts,
+                    dur.max(1),
+                    ev.track
                 ),
             ),
             EventKind::Instant => emit(

@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn i32_sign_handling() {
-        assert_eq!(to_i32(alu(AluOp::Add, DType::I32, from_i32(-3), from_i32(1))), -2);
+        assert_eq!(
+            to_i32(alu(AluOp::Add, DType::I32, from_i32(-3), from_i32(1))),
+            -2
+        );
         assert_eq!(alu(AluOp::Lt, DType::I32, from_i32(-1), from_i32(0)), 1);
         // As unsigned the same comparison would be 0.
         assert_eq!(alu(AluOp::Lt, DType::U32, from_i32(-1), from_i32(0)), 0);
@@ -263,13 +266,25 @@ mod tests {
 
     #[test]
     fn float_min_max() {
-        assert_eq!(to_f32(alu(AluOp::Min, DType::F32, from_f32(2.0), from_f32(-1.0))), -1.0);
-        assert_eq!(to_f64(alu(AluOp::Max, DType::F64, from_f64(2.0), from_f64(7.5))), 7.5);
+        assert_eq!(
+            to_f32(alu(AluOp::Min, DType::F32, from_f32(2.0), from_f32(-1.0))),
+            -1.0
+        );
+        assert_eq!(
+            to_f64(alu(AluOp::Max, DType::F64, from_f64(2.0), from_f64(7.5))),
+            7.5
+        );
     }
 
     #[test]
     fn comparisons_produce_booleans() {
-        for (op, expect) in [(AluOp::Lt, 1), (AluOp::Le, 1), (AluOp::Gt, 0), (AluOp::Ge, 0), (AluOp::Eq, 0)] {
+        for (op, expect) in [
+            (AluOp::Lt, 1),
+            (AluOp::Le, 1),
+            (AluOp::Gt, 0),
+            (AluOp::Ge, 0),
+            (AluOp::Eq, 0),
+        ] {
             assert_eq!(alu(op, DType::U64, 3, 4), expect, "{op}");
         }
         assert_eq!(alu(AluOp::Eq, DType::F32, from_f32(1.0), from_f32(1.0)), 1);

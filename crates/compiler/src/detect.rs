@@ -88,7 +88,11 @@ fn subst_expr(e: &Expr, defs: &[(VarId, Expr)]) -> Expr {
             .unwrap_or(Expr::Var(*v)),
         Expr::Const(c) => Expr::Const(*c),
         Expr::Load(a, i) => Expr::Load(*a, Box::new(subst_expr(i, defs))),
-        Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(subst_expr(a, defs)), Box::new(subst_expr(b, defs))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(subst_expr(a, defs)),
+            Box::new(subst_expr(b, defs)),
+        ),
         Expr::BufRead(b, i) => Expr::BufRead(*b, Box::new(subst_expr(i, defs))),
     }
 }
@@ -108,9 +112,7 @@ fn subst_stmt(s: &Stmt, defs: &[(VarId, Expr)]) -> Stmt {
             hi: subst_expr(&l.hi, defs),
             body: l.body.iter().map(|s| subst_stmt(s, defs)).collect(),
         }),
-        Stmt::BufWrite(b, off, v) => {
-            Stmt::BufWrite(*b, subst_expr(off, defs), subst_expr(v, defs))
-        }
+        Stmt::BufWrite(b, off, v) => Stmt::BufWrite(*b, subst_expr(off, defs), subst_expr(v, defs)),
     }
 }
 

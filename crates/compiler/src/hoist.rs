@@ -316,7 +316,10 @@ mod tests {
         let mut p2 = p.clone();
         let t = hoist(&l, &mut || p2.var()).unwrap();
         assert_eq!(t.epilogue.len(), 1);
-        assert!(matches!(t.epilogue[0], PackedOp::Store { cond_buf: None, .. }));
+        assert!(matches!(
+            t.epilogue[0],
+            PackedOp::Store { cond_buf: None, .. }
+        ));
         check_equivalence(&p, &l, 8);
     }
 
@@ -347,7 +350,10 @@ mod tests {
         let t = hoist(&l, &mut || p2.var()).unwrap();
         assert!(matches!(
             t.epilogue.first(),
-            Some(PackedOp::Rmw { cond_buf: Some(_), .. })
+            Some(PackedOp::Rmw {
+                cond_buf: Some(_),
+                ..
+            })
         ));
         check_equivalence(&p, &l, 4);
     }

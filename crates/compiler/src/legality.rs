@@ -26,7 +26,10 @@ impl std::fmt::Display for Illegal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Illegal::StoreAliasesHoistedLoad(a) => {
-                write!(f, "array {a} is both loaded indirectly and stored in the loop")
+                write!(
+                    f,
+                    "array {a} is both loaded indirectly and stored in the loop"
+                )
             }
             Illegal::LoopCarriedScalar(v) => write!(f, "scalar {v} is loop-carried"),
             Illegal::NothingToOffload => write!(f, "no indirect access to offload"),
@@ -101,12 +104,7 @@ fn loop_carried_vars(body: &[Stmt], iv: VarId) -> Vec<VarId> {
             Expr::Const(_) => {}
         }
     }
-    fn walk(
-        body: &[Stmt],
-        iv: VarId,
-        assigned: &mut HashSet<VarId>,
-        carried: &mut Vec<VarId>,
-    ) {
+    fn walk(body: &[Stmt], iv: VarId, assigned: &mut HashSet<VarId>, carried: &mut Vec<VarId>) {
         for s in body {
             let mut reads = Vec::new();
             match s {

@@ -208,7 +208,10 @@ impl Lowerer {
                         dst,
                         cond: None,
                     });
-                    self.calls.push(Dx100Call::BufFrom { src: dst, buf: *buf });
+                    self.calls.push(Dx100Call::BufFrom {
+                        src: dst,
+                        buf: *buf,
+                    });
                 }
                 PackedOp::EvalToBuf { .. } | PackedOp::Store { .. } | PackedOp::Rmw { .. } => {
                     unreachable!("only packed loads appear in prologues")
@@ -345,7 +348,8 @@ pub fn execute_calls(
                 dst,
                 cond,
             } => {
-                let mut i = Instruction::ild(DType::I64, handles[*array].base(), vt(*dst), vt(*idx));
+                let mut i =
+                    Instruction::ild(DType::I64, handles[*array].base(), vt(*dst), vt(*idx));
                 if let Some(c) = cond {
                     i = i.with_condition(vt(*c));
                 }
@@ -357,7 +361,8 @@ pub fn execute_calls(
                 val,
                 cond,
             } => {
-                let mut i = Instruction::ist(DType::I64, handles[*array].base(), vt(*idx), vt(*val));
+                let mut i =
+                    Instruction::ist(DType::I64, handles[*array].base(), vt(*idx), vt(*val));
                 if let Some(c) = cond {
                     i = i.with_condition(vt(*c));
                 }
@@ -412,7 +417,12 @@ pub fn execute_calls(
                 if bufs.len() <= *buf {
                     bufs.resize(*buf + 1, Vec::new());
                 }
-                bufs[*buf] = dx.tile(vt(*src)).valid().iter().map(|v| *v as i64).collect();
+                bufs[*buf] = dx
+                    .tile(vt(*src))
+                    .valid()
+                    .iter()
+                    .map(|v| *v as i64)
+                    .collect();
             }
         }
     }
@@ -481,11 +491,19 @@ mod tests {
         assert!(matches!(l.calls[0], Dx100Call::SldAffine { array: 5, .. }));
         assert!(matches!(
             l.calls[1],
-            Dx100Call::AluScalar { op: BinOp::And, imm: 240, .. }
+            Dx100Call::AluScalar {
+                op: BinOp::And,
+                imm: 240,
+                ..
+            }
         ));
         assert!(matches!(
             l.calls[2],
-            Dx100Call::AluScalar { op: BinOp::Shr, imm: 4, .. }
+            Dx100Call::AluScalar {
+                op: BinOp::Shr,
+                imm: 4,
+                ..
+            }
         ));
     }
 

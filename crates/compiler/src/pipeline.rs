@@ -250,10 +250,7 @@ mod tests {
                 Expr::load(a, Expr::load(b, Expr::Var(i))),
             )],
         ));
-        assert!(matches!(
-            compile_loop(&p, 8),
-            Err(CompileError::Illegal(_))
-        ));
+        assert!(matches!(compile_loop(&p, 8), Err(CompileError::Illegal(_))));
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl AluUnit {
         match job.n {
             // Sizing waits only while a source length is unknown.
             None => {
-                spd.tile(ts1).len().is_none()
-                    || ts2.is_some_and(|t| spd.tile(t).len().is_none())
+                spd.tile(ts1).len().is_none() || ts2.is_some_and(|t| spd.tile(t).len().is_none())
             }
             // Chained execution waits only on an unfinished source element.
             Some(n) => job.next < n && !sources_finished(spd, job.next, ts1, ts2, tc),
@@ -88,7 +87,12 @@ impl AluUnit {
                 tc,
             } => (dtype, op, td, Some(ts1), Some(ts2), tc),
             Instruction::Alus {
-                dtype, op, td, ts, tc, ..
+                dtype,
+                op,
+                td,
+                ts,
+                tc,
+                ..
             } => (dtype, op, td, Some(ts), None, tc),
             ref other => unreachable!("non-ALU instruction {other:?} routed to ALU unit"),
         };

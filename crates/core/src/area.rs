@@ -20,15 +20,51 @@ pub struct ComponentCost {
 
 /// Table 4's component breakdown at 28 nm.
 pub const COMPONENTS: [ComponentCost; 9] = [
-    ComponentCost { name: "Range Fuser", area_mm2: 0.001, power_mw: 0.26 },
-    ComponentCost { name: "ALU", area_mm2: 0.095, power_mw: 74.83 },
-    ComponentCost { name: "Stream Access", area_mm2: 0.012, power_mw: 6.03 },
-    ComponentCost { name: "Indirect Access", area_mm2: 0.323, power_mw: 83.70 },
-    ComponentCost { name: "Controller", area_mm2: 0.002, power_mw: 0.43 },
-    ComponentCost { name: "Interface", area_mm2: 0.045, power_mw: 30.0 },
-    ComponentCost { name: "Coherency Agent", area_mm2: 0.010, power_mw: 3.12 },
-    ComponentCost { name: "Register File", area_mm2: 0.005, power_mw: 1.56 },
-    ComponentCost { name: "Scratchpad", area_mm2: 3.566, power_mw: 577.03 },
+    ComponentCost {
+        name: "Range Fuser",
+        area_mm2: 0.001,
+        power_mw: 0.26,
+    },
+    ComponentCost {
+        name: "ALU",
+        area_mm2: 0.095,
+        power_mw: 74.83,
+    },
+    ComponentCost {
+        name: "Stream Access",
+        area_mm2: 0.012,
+        power_mw: 6.03,
+    },
+    ComponentCost {
+        name: "Indirect Access",
+        area_mm2: 0.323,
+        power_mw: 83.70,
+    },
+    ComponentCost {
+        name: "Controller",
+        area_mm2: 0.002,
+        power_mw: 0.43,
+    },
+    ComponentCost {
+        name: "Interface",
+        area_mm2: 0.045,
+        power_mw: 30.0,
+    },
+    ComponentCost {
+        name: "Coherency Agent",
+        area_mm2: 0.010,
+        power_mw: 3.12,
+    },
+    ComponentCost {
+        name: "Register File",
+        area_mm2: 0.005,
+        power_mw: 1.56,
+    },
+    ComponentCost {
+        name: "Scratchpad",
+        area_mm2: 3.566,
+        power_mw: 577.03,
+    },
 ];
 
 /// Area scaling factor 28 nm → 14 nm derived from the Stillmaker & Baas

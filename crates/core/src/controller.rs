@@ -231,7 +231,10 @@ mod tests {
 
     #[test]
     fn unit_routing() {
-        assert_eq!(unit_of(&Instruction::ild(DType::U32, 0, T1, T0)), Unit::Indirect);
+        assert_eq!(
+            unit_of(&Instruction::ild(DType::U32, 0, T1, T0)),
+            Unit::Indirect
+        );
         assert_eq!(
             unit_of(&Instruction::sld(
                 DType::U32,

@@ -215,8 +215,7 @@ impl Dx100Engine {
     pub fn is_spd_addr(&self, addr: Addr) -> bool {
         addr >= self.spd_base
             && addr
-                < self.spd_base
-                    + (self.cfg.num_tiles * self.cfg.tile_elems) as u64 * SPD_ELEM_BYTES
+                < self.spd_base + (self.cfg.num_tiles * self.cfg.tile_elems) as u64 * SPD_ELEM_BYTES
     }
 
     /// Records that the cores cached a scratchpad line (coherency agent V
@@ -263,7 +262,11 @@ impl Dx100Engine {
     ///
     /// # Errors
     /// Rejects undecodable or illegal encodings.
-    pub fn push_encoded(&mut self, words: [u64; 3], flag: Option<FlagId>) -> Result<u64, ExecError> {
+    pub fn push_encoded(
+        &mut self,
+        words: [u64; 3],
+        flag: Option<FlagId>,
+    ) -> Result<u64, ExecError> {
         let instr = Instruction::decode(words)?;
         self.push_instruction(instr, flag)
     }
@@ -451,7 +454,10 @@ impl Dx100Engine {
             .fill_step(now, &mut self.spd, ports, &mut self.tlb, &mut self.stats);
         self.indirect
             .request_step(now, ports, &mut self.ids, &mut self.stats, 4);
-        retired.extend(self.indirect.response_step(&mut self.spd, mem, &mut self.stats));
+        retired.extend(
+            self.indirect
+                .response_step(&mut self.spd, mem, &mut self.stats),
+        );
         retired.extend(self.indirect.poll_retired());
         match self.alu.step(&mut self.spd) {
             Ok(Some(h)) => retired.push(h),
@@ -664,7 +670,10 @@ mod tests {
             .push_instruction(Instruction::ist(DType::U32, a.base(), T0, T1), None)
             .unwrap();
         engine
-            .push_instruction(Instruction::irmw(DType::U32, AluOp::Add, a.base(), T0, T1), None)
+            .push_instruction(
+                Instruction::irmw(DType::U32, AluOp::Add, a.base(), T0, T1),
+                None,
+            )
             .unwrap();
         let mut ports = TestPorts::new(25);
         run_engine(&mut engine, &mut mem, &mut ports, 100_000);
@@ -752,8 +761,16 @@ mod tests {
             .push_instruction(Instruction::ild(DType::U32, a.base(), T1, T0), None)
             .unwrap();
         run_engine(&mut engine, &mut mem, &mut ports, 50_000);
-        let llc_reqs: Vec<_> = ports.issued.iter().filter(|(_, _, _, dram)| !dram).collect();
-        let dram_reqs: Vec<_> = ports.issued.iter().filter(|(_, _, _, dram)| *dram).collect();
+        let llc_reqs: Vec<_> = ports
+            .issued
+            .iter()
+            .filter(|(_, _, _, dram)| !dram)
+            .collect();
+        let dram_reqs: Vec<_> = ports
+            .issued
+            .iter()
+            .filter(|(_, _, _, dram)| *dram)
+            .collect();
         assert_eq!(llc_reqs.len(), 1, "cached line must go through the LLC");
         assert_eq!(dram_reqs.len(), 1, "uncached line goes direct to DRAM");
         assert_eq!(engine.stats().snoop_hits, 1);

@@ -49,7 +49,10 @@ impl fmt::Display for ExecError {
                 tile,
                 needed,
                 capacity,
-            } => write!(f, "tile {tile} overflow: needs {needed}, capacity {capacity}"),
+            } => write!(
+                f,
+                "tile {tile} overflow: needs {needed}, capacity {capacity}"
+            ),
             ExecError::LengthMismatch(a, b) => write!(f, "length mismatch between {a} and {b}"),
         }
     }
@@ -579,7 +582,10 @@ mod tests {
         dx.write_tile(T0, &[0]);
         dx.write_tile(T1, &[1]);
         let err = dx
-            .execute(&Instruction::irmw(DType::U32, AluOp::Mul, 4096, T0, T1), &mut mem)
+            .execute(
+                &Instruction::irmw(DType::U32, AluOp::Mul, 4096, T0, T1),
+                &mut mem,
+            )
             .unwrap_err();
         assert!(matches!(err, ExecError::Illegal(_)));
     }
@@ -594,8 +600,11 @@ mod tests {
         dx.write_reg(R0, 4); // start
         dx.write_reg(R1, 3); // stride
         dx.write_reg(R2, 5); // count
-        dx.execute(&Instruction::sld(DType::U64, a.base(), T0, R0, R1, R2), &mut mem)
-            .unwrap();
+        dx.execute(
+            &Instruction::sld(DType::U64, a.base(), T0, R0, R1, R2),
+            &mut mem,
+        )
+        .unwrap();
         assert_eq!(dx.tile(T0).valid(), &[400, 700, 1000, 1300, 1600]);
     }
 }

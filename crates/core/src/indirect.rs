@@ -340,7 +340,11 @@ impl IndirectUnit {
 
     /// Diagnostic summary of internal occupancy.
     pub fn debug_state(&self) -> String {
-        let cols: usize = self.slices.iter().map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>()).sum();
+        let cols: usize = self
+            .slices
+            .iter()
+            .map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>())
+            .sum();
         let unsent: usize = self
             .slices
             .iter()
@@ -644,7 +648,9 @@ impl IndirectUnit {
                 self.rr = (self.rr + self.slice_order.len() - 1) % self.slice_order.len();
                 return;
             }
-            self.col_by_id_mut(slice_idx, col_id).expect("picked column").sent = true;
+            self.col_by_id_mut(slice_idx, col_id)
+                .expect("picked column")
+                .sent = true;
             self.outstanding.insert(id, (slice_idx, col_id));
             stats.indirect_line_reads += 1;
             budget -= 1;

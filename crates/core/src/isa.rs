@@ -322,9 +322,10 @@ impl Instruction {
             Instruction::Irmw { op, dtype, .. }
             | Instruction::Aluv { op, dtype, .. }
             | Instruction::Alus { op, dtype, .. }
-                if op.is_integer_only() && dtype.is_float() => {
-                    return Err(IllegalInstruction::IntegerOpOnFloat(*op, *dtype));
-                }
+                if op.is_integer_only() && dtype.is_float() =>
+            {
+                return Err(IllegalInstruction::IntegerOpOnFloat(*op, *dtype));
+            }
             _ => {}
         }
         for d in self.dest_tiles() {

@@ -45,7 +45,11 @@ impl ArrayHandle {
     /// Debug-panics if `idx` is out of bounds.
     #[inline]
     pub fn addr_of(&self, idx: u64) -> Addr {
-        debug_assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        debug_assert!(
+            idx < self.len,
+            "index {idx} out of bounds (len {})",
+            self.len
+        );
         self.base + idx * self.dtype.size_bytes()
     }
 

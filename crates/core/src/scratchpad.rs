@@ -106,7 +106,11 @@ impl Scratchpad {
     /// # Panics
     /// Panics if `len` exceeds the tile capacity.
     pub fn begin_produce(&mut self, id: TileId, len: usize) {
-        assert!(len <= self.capacity, "tile overflow: {len} > {}", self.capacity);
+        assert!(
+            len <= self.capacity,
+            "tile overflow: {len} > {}",
+            self.capacity
+        );
         let t = &mut self.tiles[id.index()];
         t.len = Some(len);
         t.ready = false;

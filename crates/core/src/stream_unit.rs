@@ -43,10 +43,18 @@ impl StreamJob {
     fn fields(&self) -> (DType, Addr, Option<TileId>, Option<TileId>, Option<TileId>) {
         match self.d.instr {
             Instruction::Sld {
-                dtype, base, td, tc, ..
+                dtype,
+                base,
+                td,
+                tc,
+                ..
             } => (dtype, base, Some(td), None, tc),
             Instruction::Sst {
-                dtype, base, ts, tc, ..
+                dtype,
+                base,
+                ts,
+                tc,
+                ..
             } => (dtype, base, None, Some(ts), tc),
             ref other => unreachable!("non-stream instruction {other:?} in stream unit"),
         }
@@ -141,8 +149,7 @@ impl StreamUnit {
             // Load: coalescing onto an in-flight line is progress; otherwise
             // only a full Request Table blocks the element.
             (Some(_), None) => {
-                !self.inflight_lines.contains_key(&line)
-                    && self.outstanding.len() >= self.table_cap
+                !self.inflight_lines.contains_key(&line) && self.outstanding.len() >= self.table_cap
             }
             // Store: a full table blocks only the flush of a completed line;
             // composing onto the current line is always progress.
@@ -238,17 +245,19 @@ impl StreamUnit {
                         continue;
                     }
                     // Flush the composed line if this element starts a new one.
-                    if job
-                        .current_write
-                        .as_ref()
-                        .is_some_and(|(l, _)| *l != line)
-                    {
+                    if job.current_write.as_ref().is_some_and(|(l, _)| *l != line) {
                         if self.outstanding.len() >= self.table_cap {
                             break;
                         }
                         let (l, elems) = job.current_write.take().unwrap();
                         let rid = ids.alloc(UnitTag::Stream);
-                        self.outstanding.insert(rid, LineReq { elems, is_write: true });
+                        self.outstanding.insert(
+                            rid,
+                            LineReq {
+                                elems,
+                                is_write: true,
+                            },
+                        );
                         ports.llc_request(rid, l, true, now);
                         stats.stream_line_requests += 1;
                     }
@@ -270,7 +279,13 @@ impl StreamUnit {
             if let Some((l, elems)) = job.current_write.take() {
                 if self.outstanding.len() < self.table_cap {
                     let rid = ids.alloc(UnitTag::Stream);
-                    self.outstanding.insert(rid, LineReq { elems, is_write: true });
+                    self.outstanding.insert(
+                        rid,
+                        LineReq {
+                            elems,
+                            is_write: true,
+                        },
+                    );
                     ports.llc_request(rid, l, true, now);
                     stats.stream_line_requests += 1;
                 } else {
@@ -288,7 +303,10 @@ impl StreamUnit {
         spd: &mut Scratchpad,
         mem: &MemoryImage,
     ) -> Option<u64> {
-        let req = self.outstanding.remove(&id).expect("unknown stream response");
+        let req = self
+            .outstanding
+            .remove(&id)
+            .expect("unknown stream response");
         let job = self.queue.front_mut().expect("response without a job");
         let (dtype, _, td, _, _) = job.fields();
         if req.is_write {
@@ -299,7 +317,11 @@ impl StreamUnit {
                 spd.produce(td, *i, mem.read(dtype, *addr));
             }
             job.produced += req.elems.len();
-            if let Some((line, _)) = req.elems.first().map(|(i, a)| (LineAddr::containing(*a), i)) {
+            if let Some((line, _)) = req
+                .elems
+                .first()
+                .map(|(i, a)| (LineAddr::containing(*a), i))
+            {
                 self.inflight_lines.remove(&line);
             }
         }

@@ -6,8 +6,9 @@ use std::collections::{HashMap, VecDeque};
 use dx100_common::flags::{FlagBoard, FlagId};
 use dx100_common::{Addr, CoreId, Cycle, DelayQueue, SpanTracker, TraceHandle};
 
+use crate::channel::{ChannelQueue, SegmentState};
 use crate::config::CoreConfig;
-use crate::op::{CoreOp, OpStream};
+use crate::op::{CoreOp, OpStreamKind, VecStream};
 use crate::stats::CoreStats;
 
 /// Kind of a memory operation handed to the memory system.
@@ -68,7 +69,7 @@ struct Entry {
 pub struct Core {
     id: CoreId,
     cfg: CoreConfig,
-    stream: Box<dyn OpStream + Send>,
+    stream: OpStreamKind,
     stream_done: bool,
     peeked: Option<CoreOp>,
     rob: VecDeque<Entry>,
@@ -99,7 +100,9 @@ const STALL_NAMES: [&str; 4] = ["rob_full", "lq_full", "sq_full", "fence"];
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DispatchIdle {
     /// Blocked on an unset flag; spin-polling if `spin`.
-    Wait { spin: bool },
+    Wait {
+        spin: bool,
+    },
     /// A `SetFlag` fence at the head waiting for the ROB to drain.
     Fence,
     RobFull,
@@ -135,15 +138,38 @@ struct WaitState {
     next_poll_at: Cycle,
 }
 
+/// Saved form of a core's op stream, mirroring [`OpStreamKind`] variant
+/// for variant. Channel segments capture queued generators via
+/// [`crate::OpStream::try_clone`], including any ops already batched out
+/// of a live generator.
+pub enum StreamState {
+    /// No op source.
+    Empty,
+    /// A pre-built vector stream at its current position.
+    Vec(VecStream),
+    /// A channel's queued segments.
+    Channel(Vec<SegmentState>),
+}
+
+impl std::fmt::Debug for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamState::Empty => f.write_str("Empty"),
+            StreamState::Vec(_) => f.write_str("Vec"),
+            StreamState::Channel(segs) => write!(f, "Channel({} segments)", segs.len()),
+        }
+    }
+}
+
 /// A [`Core`]'s saved execution state (see [`Checkpoint`]).
 ///
 /// Mirrors every field of [`Core`] except the configuration (the restore
 /// target must be built with an equivalent one) and the trace sink (the
-/// restore target keeps its own). The op stream is captured through
-/// [`OpStream::try_clone`] when possible; system-owned channel streams are
-/// saved by the system instead and `stream` stays `None`.
+/// restore target keeps its own). The op stream — channel contents
+/// included, now that cores own their channels — is captured as a
+/// [`StreamState`].
 pub struct CoreState {
-    stream: Option<Box<dyn OpStream + Send + Sync>>,
+    stream: StreamState,
     stream_done: bool,
     peeked: Option<CoreOp>,
     rob: VecDeque<Entry>,
@@ -169,7 +195,7 @@ impl std::fmt::Debug for CoreState {
             .field("rob_occupancy", &self.rob.len())
             .field("head_seq", &self.head_seq)
             .field("stream_done", &self.stream_done)
-            .field("stream_captured", &self.stream.is_some())
+            .field("stream", &self.stream)
             .finish()
     }
 }
@@ -177,12 +203,10 @@ impl std::fmt::Debug for CoreState {
 impl dx100_common::Checkpoint for Core {
     type State = CoreState;
 
-    /// Fails with [`CheckpointError::UnclonableStream`] when the core's op
-    /// stream does not support cloning and is not yet exhausted; use
-    /// [`Core::save_state`] with `capture_stream = false` if the caller
-    /// checkpoints the stream itself.
+    /// Fails with [`CheckpointError::UnclonableStream`] when a generator
+    /// queued in the core's channel does not support cloning.
     fn save(&self) -> Result<CoreState, dx100_common::CheckpointError> {
-        self.save_state(true)
+        self.save_state()
     }
 
     fn restore(&mut self, state: &CoreState) {
@@ -202,8 +226,10 @@ impl std::fmt::Debug for Core {
 }
 
 impl Core {
-    /// Creates a core that will execute `stream`.
-    pub fn new(id: CoreId, cfg: CoreConfig, stream: Box<dyn OpStream + Send>) -> Self {
+    /// Creates a core that will execute `stream` (a [`VecStream`], a
+    /// `Vec<CoreOp>`, a [`ChannelQueue`], or [`OpStreamKind`] directly).
+    pub fn new(id: CoreId, cfg: CoreConfig, stream: impl Into<OpStreamKind>) -> Self {
+        let stream = stream.into();
         Core {
             id,
             cfg,
@@ -249,23 +275,17 @@ impl Core {
         self.id
     }
 
-    /// Captures this core's execution state. With `capture_stream`, the op
-    /// stream is deep-copied via [`OpStream::try_clone`] — an error if it
-    /// does not support that while ops remain; without it, the stream is the
-    /// caller's responsibility (the system checkpoints its channels
-    /// directly) and the restore target keeps its current stream object.
-    pub fn save_state(
-        &self,
-        capture_stream: bool,
-    ) -> Result<CoreState, dx100_common::CheckpointError> {
-        let stream = if capture_stream {
-            match self.stream.try_clone() {
-                Some(s) => Some(s),
-                None if self.stream_done => None,
-                None => return Err(dx100_common::CheckpointError::UnclonableStream),
-            }
-        } else {
-            None
+    /// Captures this core's execution state, op stream included. Fails with
+    /// [`CheckpointError`](dx100_common::CheckpointError) only when a
+    /// generator queued in a channel does not support [`try_clone`]
+    /// (`OpStream::try_clone`).
+    ///
+    /// [`try_clone`]: crate::OpStream::try_clone
+    pub fn save_state(&self) -> Result<CoreState, dx100_common::CheckpointError> {
+        let stream = match &self.stream {
+            OpStreamKind::Empty => StreamState::Empty,
+            OpStreamKind::Vec(v) => StreamState::Vec(v.clone()),
+            OpStreamKind::Channel(c) => StreamState::Channel(c.save_segments()?),
         };
         Ok(CoreState {
             stream,
@@ -289,15 +309,14 @@ impl Core {
         })
     }
 
-    /// Restores a state saved by [`Core::save_state`]. When the state
-    /// captured a stream, a fresh copy of it replaces the current one;
-    /// otherwise the current stream object is kept (re-attached channel).
+    /// Restores a state saved by [`Core::save_state`]: the saved stream
+    /// (channel contents included) replaces the current one.
     pub fn restore_state(&mut self, s: &CoreState) {
-        if let Some(stream) = &s.stream {
-            self.stream = stream
-                .try_clone()
-                .expect("a captured stream must stay cloneable");
-        }
+        self.stream = match &s.stream {
+            StreamState::Empty => OpStreamKind::Empty,
+            StreamState::Vec(v) => OpStreamKind::Vec(v.clone()),
+            StreamState::Channel(segs) => OpStreamKind::Channel(ChannelQueue::from_saved(segs)),
+        };
         self.stream_done = s.stream_done;
         self.peeked = s.peeked;
         self.rob = s.rob.clone();
@@ -319,16 +338,28 @@ impl Core {
 
     /// Replaces the op stream (used when a workload phase hands a core a new
     /// program).
-    pub fn set_stream(&mut self, stream: Box<dyn OpStream + Send>) {
-        self.stream = stream;
+    pub fn set_stream(&mut self, stream: impl Into<OpStreamKind>) {
+        self.stream = stream.into();
         self.stream_done = false;
         self.peeked = None;
     }
 
-    /// Wakes the core after more ops were appended to a shared channel
-    /// stream that had previously reported exhaustion.
+    /// Wakes the core after more ops were appended to a channel that had
+    /// previously reported exhaustion.
     pub fn nudge(&mut self) {
         self.stream_done = false;
+    }
+
+    /// The core's channel queue, for the driver side to append ops and
+    /// generators to. Callers pair every push with [`Core::nudge`].
+    ///
+    /// # Panics
+    /// Panics if the core was not built with [`OpStreamKind::channel`].
+    pub fn channel_mut(&mut self) -> &mut ChannelQueue {
+        match &mut self.stream {
+            OpStreamKind::Channel(c) => c,
+            _ => panic!("core {} does not execute a channel stream", self.id),
+        }
     }
 
     /// Whether the core has fully drained: stream exhausted, ROB empty, and
@@ -373,7 +404,8 @@ impl Core {
             if !*locked {
                 // Data arrived; now pay the cacheline-lock latency.
                 *locked = true;
-                self.internal_done.push_at(now + self.cfg.atomic_lock_latency, seq);
+                self.internal_done
+                    .push_at(now + self.cfg.atomic_lock_latency, seq);
                 return;
             }
         }
@@ -387,12 +419,7 @@ impl Core {
     }
 
     /// Advances one cycle. Ready memory ops are handed to `issue`.
-    pub fn tick(
-        &mut self,
-        now: Cycle,
-        flags: &mut FlagBoard,
-        issue: &mut dyn FnMut(MemIssue),
-    ) {
+    pub fn tick(&mut self, now: Cycle, flags: &mut FlagBoard, issue: &mut dyn FnMut(MemIssue)) {
         if self.is_done() {
             return;
         }
@@ -601,11 +628,10 @@ impl Core {
                         let p0 = w.next_poll_at.max(from);
                         if p0 < to {
                             let interval = self.cfg.poll_interval;
-                            let (k, next_poll_at) = if interval == 0 {
-                                (to - p0, to - 1)
-                            } else {
-                                let k = (to - 1 - p0) / interval + 1;
-                                (k, p0 + k * interval)
+                            let (k, next_poll_at) = match (to - 1 - p0).checked_div(interval) {
+                                // interval == 0: a poll on every cycle.
+                                None => (to - p0, to - 1),
+                                Some(q) => (q + 1, p0 + (q + 1) * interval),
                             };
                             let instrs = k * self.cfg.spin_instructions_per_poll;
                             self.stats.instructions += instrs;
@@ -907,7 +933,7 @@ mod tests {
         // 16 independent loads at 100-cycle latency should take ~100 cycles,
         // not 1600: the ROB/LQ expose the parallelism.
         let ops: Vec<CoreOp> = (0..16).map(|i| CoreOp::load(i * 64, 0)).collect();
-        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
         let mut mem = FakeMem::new(100);
         let cycles = run(&mut core, &mut mem, 10_000);
         assert!(cycles < 130, "independent loads must overlap: {cycles}");
@@ -927,7 +953,7 @@ mod tests {
                 }
             })
             .collect();
-        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
         let mut mem = FakeMem::new(100);
         let cycles = run(&mut core, &mut mem, 10_000);
         assert!(cycles >= 800, "dependent chain must serialize: {cycles}");
@@ -940,7 +966,7 @@ mod tests {
         cfg.lq = 4;
         cfg.rob = 224;
         let ops: Vec<CoreOp> = (0..64).map(|i| CoreOp::load(i * 64, 0)).collect();
-        let mut core = Core::new(0, cfg, Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, cfg, VecStream::new(ops));
         let mut mem = FakeMem::new(50);
         run(&mut core, &mut mem, 100_000);
         assert!(mem.peak_outstanding <= 4, "LQ must cap MLP");
@@ -954,10 +980,13 @@ mod tests {
         // A long-latency load followed by many ALUs: the window fills.
         let mut ops = vec![CoreOp::load(0, 0)];
         ops.extend((0..64).map(|_| CoreOp::alu()));
-        let mut core = Core::new(0, cfg, Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, cfg, VecStream::new(ops));
         let mut mem = FakeMem::new(200);
         run(&mut core, &mut mem, 10_000);
-        assert!(core.stats().stall_rob_full > 0, "ROB must fill behind a miss");
+        assert!(
+            core.stats().stall_rob_full > 0,
+            "ROB must fill behind a miss"
+        );
     }
 
     #[test]
@@ -966,10 +995,10 @@ mod tests {
         let n = 32u64;
         let plain: Vec<CoreOp> = (0..n).map(|i| CoreOp::store(i * 64, 0)).collect();
         let atomics: Vec<CoreOp> = (0..n).map(|i| CoreOp::atomic(i * 64, 0)).collect();
-        let mut c1 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(plain)));
+        let mut c1 = Core::new(0, CoreConfig::paper(), VecStream::new(plain));
         let mut m1 = FakeMem::new(20);
         let t_plain = run(&mut c1, &mut m1, 100_000);
-        let mut c2 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(atomics)));
+        let mut c2 = Core::new(0, CoreConfig::paper(), VecStream::new(atomics));
         let mut m2 = FakeMem::new(20);
         let t_atomic = run(&mut c2, &mut m2, 100_000);
         let ratio = t_atomic as f64 / t_plain as f64;
@@ -981,12 +1010,15 @@ mod tests {
     fn width_bounds_alu_throughput() {
         let n = 800u64;
         let ops: Vec<CoreOp> = (0..n).map(|_| CoreOp::alu()).collect();
-        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
         let mut mem = FakeMem::new(1);
         let cycles = run(&mut core, &mut mem, 10_000);
         // 8-wide: at least n/8 cycles, and close to it.
         assert!(cycles as u64 >= n / 8);
-        assert!((cycles as u64) < n / 8 + 32, "ALUs should sustain full width");
+        assert!(
+            (cycles as u64) < n / 8 + 32,
+            "ALUs should sustain full width"
+        );
     }
 
     #[test]
@@ -998,7 +1030,7 @@ mod tests {
             },
             CoreOp::alu(),
         ];
-        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
         let mut flags = FlagBoard::new();
         let flag = flags.alloc();
         let mut mem = FakeMem::new(1);
@@ -1040,7 +1072,7 @@ mod tests {
                 signal: Some(43),
             },
         ];
-        let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
         let mut mem = FakeMem::new(1);
         let mut flags = FlagBoard::new();
         let mut signals = Vec::new();
@@ -1061,9 +1093,15 @@ mod tests {
         let mut flags = FlagBoard::new();
         let f = flags.alloc();
         let setter = vec![CoreOp::alu(), CoreOp::SetFlag { flag: f }];
-        let waiter = vec![CoreOp::WaitFlag { flag: f, spin: false }, CoreOp::alu()];
-        let mut c0 = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(setter)));
-        let mut c1 = Core::new(1, CoreConfig::paper(), Box::new(VecStream::new(waiter)));
+        let waiter = vec![
+            CoreOp::WaitFlag {
+                flag: f,
+                spin: false,
+            },
+            CoreOp::alu(),
+        ];
+        let mut c0 = Core::new(0, CoreConfig::paper(), VecStream::new(setter));
+        let mut c1 = Core::new(1, CoreConfig::paper(), VecStream::new(waiter));
         for now in 0..100u64 {
             c0.tick(now, &mut flags, &mut |_| {});
             c1.tick(now, &mut flags, &mut |_| {});

@@ -27,7 +27,7 @@
 //!     CoreOp::load(0x1000, 0),
 //!     CoreOp::load(0x8000, 1).with_dep(1),
 //! ];
-//! let mut core = Core::new(0, CoreConfig::paper(), Box::new(VecStream::new(ops)));
+//! let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
 //! let mut flags = FlagBoard::new();
 //! let mut issued = Vec::new();
 //! core.tick(0, &mut flags, &mut |iss| issued.push(iss));
@@ -35,12 +35,14 @@
 //! assert_eq!(issued.len(), 1);
 //! ```
 
+pub mod channel;
 pub mod config;
 pub mod core;
 pub mod op;
 pub mod stats;
 
-pub use crate::core::{Core, CoreState, MemIssue, MemKind};
+pub use crate::core::{Core, CoreState, MemIssue, MemKind, StreamState};
+pub use channel::{ChannelQueue, SegmentState};
 pub use config::CoreConfig;
-pub use op::{CoreOp, EmptyStream, OpStream, VecStream};
+pub use op::{CoreOp, EmptyStream, OpStream, OpStreamKind, VecStream};
 pub use stats::CoreStats;

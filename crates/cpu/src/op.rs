@@ -159,7 +159,7 @@ pub trait OpStream {
 /// An [`OpStream`] over a pre-built vector (tests and small phases).
 #[derive(Debug, Clone)]
 pub struct VecStream {
-    ops: std::vec::IntoIter<CoreOp>,
+    pub(crate) ops: std::vec::IntoIter<CoreOp>,
 }
 
 impl VecStream {
@@ -192,6 +192,67 @@ impl OpStream for EmptyStream {
 
     fn try_clone(&self) -> Option<Box<dyn OpStream + Send + Sync>> {
         Some(Box::new(EmptyStream))
+    }
+}
+
+/// The closed set of op sources a [`Core`](crate::Core) executes, dispatched
+/// by `match` rather than through a `Box<dyn OpStream>` vtable.
+///
+/// The per-cycle hot path (`Core::peek_op`) runs once per dispatched µop,
+/// so the indirection cost of a trait object is paid millions of times per
+/// simulated millisecond. The *open* extension point for workloads remains
+/// the [`OpStream`] trait — but generators now enter a core only through a
+/// [`ChannelQueue`](crate::ChannelQueue) segment, where they are polled in
+/// batches into flat op rings instead of once per op.
+#[derive(Debug, Default)]
+pub enum OpStreamKind {
+    /// No ops at all (idle core).
+    #[default]
+    Empty,
+    /// A pre-built op vector (tests and small phases).
+    Vec(VecStream),
+    /// A driver-fed channel of op and generator segments.
+    Channel(crate::ChannelQueue),
+}
+
+impl OpStreamKind {
+    /// An empty channel ready for driver pushes.
+    pub fn channel() -> Self {
+        OpStreamKind::Channel(crate::ChannelQueue::new())
+    }
+
+    /// The next op, or `None` when the stream is (currently) exhausted.
+    #[inline]
+    pub fn next_op(&mut self) -> Option<CoreOp> {
+        match self {
+            OpStreamKind::Empty => None,
+            OpStreamKind::Vec(v) => v.ops.next(),
+            OpStreamKind::Channel(c) => c.next_op(),
+        }
+    }
+}
+
+impl From<VecStream> for OpStreamKind {
+    fn from(v: VecStream) -> Self {
+        OpStreamKind::Vec(v)
+    }
+}
+
+impl From<Vec<CoreOp>> for OpStreamKind {
+    fn from(ops: Vec<CoreOp>) -> Self {
+        OpStreamKind::Vec(VecStream::new(ops))
+    }
+}
+
+impl From<EmptyStream> for OpStreamKind {
+    fn from(_: EmptyStream) -> Self {
+        OpStreamKind::Empty
+    }
+}
+
+impl From<crate::ChannelQueue> for OpStreamKind {
+    fn from(c: crate::ChannelQueue) -> Self {
+        OpStreamKind::Channel(c)
     }
 }
 

@@ -27,7 +27,10 @@ struct SimpleMem {
 
 impl SimpleMem {
     fn new(latency: Cycle) -> Self {
-        SimpleMem { latency, in_flight: Vec::new() }
+        SimpleMem {
+            latency,
+            in_flight: Vec::new(),
+        }
     }
 }
 
@@ -44,7 +47,9 @@ fn step(core: &mut Core, mem: &mut SimpleMem, flags: &mut FlagBoard, now: Cycle)
     }
     let latency = mem.latency;
     let in_flight = &mut mem.in_flight;
-    core.tick(now, flags, &mut |iss| in_flight.push((now + latency, iss.seq)));
+    core.tick(now, flags, &mut |iss| {
+        in_flight.push((now + latency, iss.seq))
+    });
 }
 
 /// Runs from cycle `start` until the core retires its last op; returns the
@@ -79,7 +84,7 @@ fn dep(op: CoreOp, d: u16) -> CoreOp {
 
 /// A restored clone of `state` with its own trace sink attached.
 fn restored(cfg: &CoreConfig, state: &<Core as Checkpoint>::State) -> (Core, TraceHandle) {
-    let mut core = Core::new(0, cfg.clone(), Box::new(VecStream::new(Vec::new())));
+    let mut core = Core::new(0, cfg.clone(), VecStream::new(Vec::new()));
     let root = TraceHandle::root(4096);
     core.set_trace(root.track("core0"));
     core.restore(state);
@@ -98,14 +103,14 @@ proptest! {
         let cfg = CoreConfig::paper();
 
         // Uninterrupted reference run.
-        let mut reference = Core::new(0, cfg.clone(), Box::new(VecStream::new(ops.clone())));
+        let mut reference = Core::new(0, cfg.clone(), VecStream::new(ops.clone()));
         let mut ref_mem = SimpleMem::new(latency);
         let total = run_from(&mut reference, &mut ref_mem, 0);
         let ref_stats = format!("{:?}", reference.stats());
 
         // Interrupted run: step to cycle k, checkpoint, keep going.
         let k = total * frac_pct / 100;
-        let mut core_a = Core::new(0, cfg.clone(), Box::new(VecStream::new(ops.clone())));
+        let mut core_a = Core::new(0, cfg.clone(), VecStream::new(ops.clone()));
         let mut mem_a = SimpleMem::new(latency);
         let mut flags = FlagBoard::new();
         for now in 0..k {

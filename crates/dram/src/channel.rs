@@ -106,8 +106,16 @@ impl Channel {
     }
 
     /// Whether a CAS may issue at `now` to (`bank_idx`, `bank_group`, `row`).
-    pub fn can_cas(&self, bank_idx: usize, bank_group: usize, row: u64, is_write: bool, now: Cycle) -> bool {
-        self.banks[bank_idx].can_cas(row, now) && now >= self.cas_channel_ready_at(bank_group, is_write)
+    pub fn can_cas(
+        &self,
+        bank_idx: usize,
+        bank_group: usize,
+        row: u64,
+        is_write: bool,
+        now: Cycle,
+    ) -> bool {
+        self.banks[bank_idx].can_cas(row, now)
+            && now >= self.cas_channel_ready_at(bank_group, is_write)
     }
 
     /// Whether channel-level constraints alone (tCCD, turnaround, data bus)
@@ -133,7 +141,11 @@ impl Channel {
         let t = &self.config.timings;
         let mut ready = self.banks[bank_idx].act_ready_at();
         if let Some((last, last_bg)) = self.last_act[rank] {
-            let rrd = if last_bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
+            let rrd = if last_bg == bank_group {
+                t.t_rrd_l
+            } else {
+                t.t_rrd_s
+            };
             ready = ready.max(last + rrd);
         }
         let window = &self.act_window[rank];
@@ -186,7 +198,11 @@ impl Channel {
         let t = &self.config.timings;
         // tRRD against the previous ACT in the same rank.
         if let Some((last, last_bg)) = self.last_act[rank] {
-            let rrd = if last_bg == bank_group { t.t_rrd_l } else { t.t_rrd_s };
+            let rrd = if last_bg == bank_group {
+                t.t_rrd_l
+            } else {
+                t.t_rrd_s
+            };
             if now < last + rrd {
                 return false;
             }
@@ -206,7 +222,14 @@ impl Channel {
     ///
     /// # Panics
     /// Debug-panics if [`Channel::can_act`] is false at `now`.
-    pub fn issue_act(&mut self, bank_idx: usize, rank: usize, bank_group: usize, row: u64, now: Cycle) {
+    pub fn issue_act(
+        &mut self,
+        bank_idx: usize,
+        rank: usize,
+        bank_group: usize,
+        row: u64,
+        now: Cycle,
+    ) {
         debug_assert!(self.can_act(bank_idx, rank, bank_group, now));
         let t = self.config.timings.clone();
         self.banks[bank_idx].issue_act(row, now, &t);

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use dx100_common::{Cycle, DelayQueue, TraceHandle};
+use dx100_common::{Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 
 use crate::channel::Channel;
 use crate::config::DramConfig;
@@ -18,16 +18,76 @@ use crate::mapping::DramCoord;
 use crate::stats::DramStats;
 use crate::{MemRequest, MemResponse};
 
-/// A request resident in the controller's request buffer.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    req: MemRequest,
-    coord: DramCoord,
-    bank_idx: usize,
-    arrived_at: Cycle,
+/// The request buffer in struct-of-arrays layout.
+///
+/// The FR-FCFS scheduler scans the buffer several times per tick (the CAS,
+/// ACT, and PRE phases, plus the `next_event` probe under cycle skipping),
+/// and each scan touches only two or three fields per entry. Parallel flat
+/// vectors keep a scan inside a handful of cache lines instead of striding
+/// over wide array-of-struct entries. FIFO age order *is* the vector order;
+/// removal shifts the tail, which is fine at 32 entries (Table 3).
+#[derive(Clone, Debug, Default)]
+struct RequestBuffer {
+    ids: Vec<ReqId>,
+    lines: Vec<LineAddr>,
+    is_write: Vec<bool>,
+    rows: Vec<u64>,
+    bank_idx: Vec<usize>,
+    bank_group: Vec<usize>,
+    rank: Vec<usize>,
+    arrived_at: Vec<Cycle>,
     /// Whether this request triggered its own ACT (row miss) — used for the
     /// row-buffer hit-rate statistic.
+    caused_act: Vec<bool>,
+}
+
+/// One request popped out of the [`RequestBuffer`] for issue.
+struct Issued {
+    id: ReqId,
+    line: LineAddr,
+    is_write: bool,
+    row: u64,
+    bank_idx: usize,
+    bank_group: usize,
+    arrived_at: Cycle,
     caused_act: bool,
+}
+
+impl RequestBuffer {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn push(&mut self, req: MemRequest, coord: DramCoord, bank_idx: usize, now: Cycle) {
+        self.ids.push(req.id);
+        self.lines.push(req.line);
+        self.is_write.push(req.is_write);
+        self.rows.push(coord.row);
+        self.bank_idx.push(bank_idx);
+        self.bank_group.push(coord.bank_group);
+        self.rank.push(coord.rank);
+        self.arrived_at.push(now);
+        self.caused_act.push(false);
+    }
+
+    fn remove(&mut self, i: usize) -> Issued {
+        let issued = Issued {
+            id: self.ids.remove(i),
+            line: self.lines.remove(i),
+            is_write: self.is_write.remove(i),
+            row: self.rows.remove(i),
+            bank_idx: self.bank_idx.remove(i),
+            bank_group: self.bank_group.remove(i),
+            arrived_at: self.arrived_at.remove(i),
+            caused_act: self.caused_act.remove(i),
+        };
+        self.rank.remove(i);
+        issued
+    }
 }
 
 /// FR-FCFS controller and its channel.
@@ -37,7 +97,7 @@ pub struct ChannelController {
     channel_id: usize,
     config: DramConfig,
     channel: Channel,
-    buffer: VecDeque<Pending>,
+    buffer: RequestBuffer,
     /// Reads whose data burst is in flight.
     in_flight: DelayQueue<MemResponse>,
     stats: DramStats,
@@ -57,7 +117,7 @@ impl ChannelController {
             channel_id,
             channel: Channel::new(config.clone()),
             config,
-            buffer: VecDeque::new(),
+            buffer: RequestBuffer::default(),
             in_flight: DelayQueue::new(),
             stats: DramStats::default(),
             next_refresh,
@@ -83,13 +143,7 @@ impl ChannelController {
             return false;
         }
         let bank_idx = coord.bank_index(&self.config.organization);
-        self.buffer.push_back(Pending {
-            req,
-            coord,
-            bank_idx,
-            arrived_at: now,
-            caused_act: false,
-        });
+        self.buffer.push(req, coord, bank_idx, now);
         true
     }
 
@@ -156,7 +210,8 @@ impl ChannelController {
 
         // Starvation escape hatch: when the oldest request has waited too
         // long, consider only that request for every phase this tick.
-        let starving = now.saturating_sub(self.buffer[0].arrived_at) > self.config.starvation_threshold;
+        let starving =
+            now.saturating_sub(self.buffer.arrived_at[0]) > self.config.starvation_threshold;
 
         if self.try_issue_cas(now, responses, starving) {
             return;
@@ -207,32 +262,34 @@ impl ChannelController {
             return false;
         }
         // Channel-level readiness depends only on (bank group, direction);
-        // memoize it lazily across the scan.
+        // memoize it lazily across the scan. The scan itself touches only
+        // the `bank_idx`/`rows` columns until a candidate passes the bank
+        // filter, which is the common early-out under load.
         let mut ch_ready = [[None::<bool>; 2]; 8];
         let mut chosen = None;
         'outer: for i in 0..limit {
-            let p = &self.buffer[i];
-            if bank_ready & (1u64 << p.bank_idx) == 0
-                || self.channel.bank(p.bank_idx).open_row() != Some(p.coord.row)
+            let (bank_idx, row) = (self.buffer.bank_idx[i], self.buffer.rows[i]);
+            if bank_ready & (1u64 << bank_idx) == 0
+                || self.channel.bank(bank_idx).open_row() != Some(row)
             {
                 continue;
             }
-            let dir = p.req.is_write as usize;
-            let ready = if p.coord.bank_group < ch_ready.len() {
-                *ch_ready[p.coord.bank_group][dir].get_or_insert_with(|| {
-                    self.channel.cas_channel_ready(p.coord.bank_group, p.req.is_write, now)
-                })
+            let (bg, is_write) = (self.buffer.bank_group[i], self.buffer.is_write[i]);
+            let dir = is_write as usize;
+            let ready = if bg < ch_ready.len() {
+                *ch_ready[bg][dir]
+                    .get_or_insert_with(|| self.channel.cas_channel_ready(bg, is_write, now))
             } else {
-                self.channel.cas_channel_ready(p.coord.bank_group, p.req.is_write, now)
+                self.channel.cas_channel_ready(bg, is_write, now)
             };
             if !ready {
                 continue;
             }
             // Never reorder conflicting accesses to the same line: an older
             // pending access (read or write) to the same line must go first.
+            let line = self.buffer.lines[i];
             for j in 0..i {
-                let q = &self.buffer[j];
-                if q.req.line == p.req.line && (q.req.is_write || p.req.is_write) {
+                if self.buffer.lines[j] == line && (self.buffer.is_write[j] || is_write) {
                     continue 'outer;
                 }
             }
@@ -240,25 +297,21 @@ impl ChannelController {
             break;
         }
         let Some(i) = chosen else { return false };
-        let p = self.buffer.remove(i).unwrap();
-        let data_end = self.channel.issue_cas(
-            p.bank_idx,
-            p.coord.bank_group,
-            p.coord.row,
-            p.req.is_write,
-            now,
-        );
+        let p = self.buffer.remove(i);
+        let data_end = self
+            .channel
+            .issue_cas(p.bank_idx, p.bank_group, p.row, p.is_write, now);
         if let Some(t) = &self.trace {
-            let op = if p.req.is_write { "WR" } else { "RD" };
+            let op = if p.is_write { "WR" } else { "RD" };
             t.span("dram", format!("{op} b{}", p.bank_idx), now, data_end);
         }
         self.stats.row_hits_misses.record(!p.caused_act);
         self.stats.queue_latency.sample((now - p.arrived_at) as f64);
-        if p.req.is_write {
+        if p.is_write {
             self.stats.writes += 1;
             responses.push_back(MemResponse {
-                id: p.req.id,
-                line: p.req.line,
+                id: p.id,
+                line: p.line,
                 is_write: true,
                 finished_at: data_end,
             });
@@ -267,8 +320,8 @@ impl ChannelController {
             self.in_flight.push_at(
                 data_end,
                 MemResponse {
-                    id: p.req.id,
-                    line: p.req.line,
+                    id: p.id,
+                    line: p.line,
                     is_write: false,
                     finished_at: data_end,
                 },
@@ -282,22 +335,19 @@ impl ChannelController {
         let limit = if starving { 1 } else { self.buffer.len() };
         let mut banks_seen = 0u64;
         for i in 0..limit {
-            let p = &self.buffer[i];
-            let bank_bit = 1u64 << p.bank_idx;
+            let bank_idx = self.buffer.bank_idx[i];
+            let bank_bit = 1u64 << bank_idx;
             if banks_seen & bank_bit != 0 {
                 continue; // an older request already owns this bank's next command
             }
             banks_seen |= bank_bit;
-            if self.channel.bank(p.bank_idx).open_row().is_some() {
+            if self.channel.bank(bank_idx).open_row().is_some() {
                 continue;
             }
-            if self
-                .channel
-                .can_act(p.bank_idx, p.coord.rank, p.coord.bank_group, now)
-            {
-                let row = p.coord.row;
-                let (bank_idx, rank, bg) = (p.bank_idx, p.coord.rank, p.coord.bank_group);
-                self.buffer[i].caused_act = true;
+            let (rank, bg) = (self.buffer.rank[i], self.buffer.bank_group[i]);
+            if self.channel.can_act(bank_idx, rank, bg, now) {
+                let row = self.buffer.rows[i];
+                self.buffer.caused_act[i] = true;
                 self.channel.issue_act(bank_idx, rank, bg, row, now);
                 if let Some(t) = &self.trace {
                     t.instant("dram", format!("ACT b{bank_idx}"), now);
@@ -314,16 +364,16 @@ impl ChannelController {
         let limit = if starving { 1 } else { self.buffer.len() };
         let mut banks_seen = 0u64;
         for i in 0..limit {
-            let p = &self.buffer[i];
-            let bank_bit = 1u64 << p.bank_idx;
+            let bank_idx = self.buffer.bank_idx[i];
+            let bank_bit = 1u64 << bank_idx;
             if banks_seen & bank_bit != 0 {
                 continue;
             }
             banks_seen |= bank_bit;
-            let Some(open) = self.channel.bank(p.bank_idx).open_row() else {
+            let Some(open) = self.channel.bank(bank_idx).open_row() else {
                 continue;
             };
-            if open == p.coord.row {
+            if open == self.buffer.rows[i] {
                 continue;
             }
             // Keep the row open while any pending request can still use it —
@@ -331,15 +381,17 @@ impl ChannelController {
             if !starving
                 && self
                     .buffer
+                    .bank_idx
                     .iter()
-                    .any(|q| q.bank_idx == p.bank_idx && q.coord.row == open)
+                    .zip(&self.buffer.rows)
+                    .any(|(&b, &r)| b == bank_idx && r == open)
             {
                 continue;
             }
-            if self.channel.can_pre(p.bank_idx, now) {
-                self.channel.issue_pre(p.bank_idx, now);
+            if self.channel.can_pre(bank_idx, now) {
+                self.channel.issue_pre(bank_idx, now);
                 if let Some(t) = &self.trace {
-                    t.instant("dram", format!("PRE b{}", p.bank_idx), now);
+                    t.instant("dram", format!("PRE b{bank_idx}"), now);
                 }
                 return true;
             }
@@ -387,24 +439,25 @@ impl ChannelController {
         }
         // Starvation onset switches the scheduler into oldest-first mode,
         // which can unlock PREs the keep-row-open policy was suppressing.
-        let onset = self.buffer[0].arrived_at + self.config.starvation_threshold + 1;
+        let onset = self.buffer.arrived_at[0] + self.config.starvation_threshold + 1;
         if onset > from {
             consider(onset);
         }
         // Per-request earliest command-legal tick, scanning the full buffer
         // (a superset of the starving scan, so never late in either mode).
-        for p in &self.buffer {
-            match self.channel.bank(p.bank_idx).open_row() {
-                Some(row) if row == p.coord.row => consider(self.channel.cas_ready_tick(
-                    p.bank_idx,
-                    p.coord.bank_group,
-                    p.req.is_write,
+        for i in 0..self.buffer.len() {
+            let bank_idx = self.buffer.bank_idx[i];
+            match self.channel.bank(bank_idx).open_row() {
+                Some(row) if row == self.buffer.rows[i] => consider(self.channel.cas_ready_tick(
+                    bank_idx,
+                    self.buffer.bank_group[i],
+                    self.buffer.is_write[i],
                 )),
-                Some(_) => consider(self.channel.pre_ready_tick(p.bank_idx)),
+                Some(_) => consider(self.channel.pre_ready_tick(bank_idx)),
                 None => consider(self.channel.act_ready_tick(
-                    p.bank_idx,
-                    p.coord.rank,
-                    p.coord.bank_group,
+                    bank_idx,
+                    self.buffer.rank[i],
+                    self.buffer.bank_group[i],
                 )),
             }
         }
@@ -437,12 +490,21 @@ mod tests {
         while !ctrl.is_idle() {
             ctrl.tick(now, &mut out);
             now += 1;
-            assert!(now < max_ticks, "controller did not drain in {max_ticks} ticks");
+            assert!(
+                now < max_ticks,
+                "controller did not drain in {max_ticks} ticks"
+            );
         }
         out.into()
     }
 
-    fn enqueue_line(ctrl: &mut ChannelController, cfg: &DramConfig, id: u64, line: LineAddr, write: bool) {
+    fn enqueue_line(
+        ctrl: &mut ChannelController,
+        cfg: &DramConfig,
+        id: u64,
+        line: LineAddr,
+        write: bool,
+    ) {
         let coord = cfg.addr_map.decode(line, &cfg.organization);
         assert_eq!(coord.channel, 0, "test lines must map to channel 0");
         let req = if write {

@@ -156,7 +156,10 @@ impl DramSystem {
     /// retry later, which is exactly the back-pressure a real controller
     /// exerts on the on-chip fabric.
     pub fn try_enqueue(&mut self, req: MemRequest, now: Cycle) -> bool {
-        let coord = self.config.addr_map.decode(req.line, &self.config.organization);
+        let coord = self
+            .config
+            .addr_map
+            .decode(req.line, &self.config.organization);
         self.controllers[coord.channel].try_enqueue(req, coord, now)
     }
 
@@ -195,7 +198,10 @@ impl DramSystem {
         if !self.responses.is_empty() {
             return Some(from);
         }
-        self.controllers.iter().filter_map(|c| c.next_event(from)).min()
+        self.controllers
+            .iter()
+            .filter_map(|c| c.next_event(from))
+            .min()
     }
 
     /// Credits `n` skipped ticks of bookkeeping to every channel

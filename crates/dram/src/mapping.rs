@@ -59,7 +59,10 @@ pub enum AddrMap {
 }
 
 fn ilog2(v: usize) -> u32 {
-    debug_assert!(v.is_power_of_two(), "organization dims must be powers of two");
+    debug_assert!(
+        v.is_power_of_two(),
+        "organization dims must be powers of two"
+    );
     v.trailing_zeros()
 }
 

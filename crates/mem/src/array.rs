@@ -39,7 +39,10 @@ impl CacheArray {
     /// # Panics
     /// Panics if `sets` is not a power of two or either dimension is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(ways > 0);
         CacheArray {
             sets: vec![vec![Way::default(); ways]; sets],
@@ -114,8 +117,7 @@ impl CacheArray {
             return None;
         }
         // Evict LRU.
-        let victim_idx = self
-            .sets[set]
+        let victim_idx = self.sets[set]
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.used)
@@ -194,7 +196,13 @@ mod tests {
         a.insert(LineAddr(1), false, false);
         a.access(LineAddr(1), true); // make dirty via store hit
         let v = a.insert(LineAddr(2), false, false).unwrap();
-        assert_eq!(v, Victim { line: LineAddr(1), dirty: true });
+        assert_eq!(
+            v,
+            Victim {
+                line: LineAddr(1),
+                dirty: true
+            }
+        );
     }
 
     #[test]

@@ -393,8 +393,13 @@ mod tests {
         }
         let out = drive(&mut c, 32);
         let prefetches: Vec<_> = out.downstream.iter().filter(|a| a.is_prefetch).collect();
-        assert!(!prefetches.is_empty(), "stride stream must trigger prefetches");
-        assert!(prefetches.iter().all(|a| a.requester == Requester::PrefetchL1(0)));
+        assert!(
+            !prefetches.is_empty(),
+            "stride stream must trigger prefetches"
+        );
+        assert!(prefetches
+            .iter()
+            .all(|a| a.requester == Requester::PrefetchL1(0)));
         assert!(c.stats().prefetch_issued > 0);
     }
 

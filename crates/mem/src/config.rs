@@ -120,9 +120,15 @@ mod tests {
     #[test]
     fn paper_configs_match_table3() {
         let l1 = CacheConfig::paper_l1d();
-        assert_eq!((l1.size_bytes, l1.ways, l1.latency, l1.mshrs), (32768, 8, 4, 16));
+        assert_eq!(
+            (l1.size_bytes, l1.ways, l1.latency, l1.mshrs),
+            (32768, 8, 4, 16)
+        );
         let l2 = CacheConfig::paper_l2();
-        assert_eq!((l2.size_bytes, l2.ways, l2.latency, l2.mshrs), (262144, 4, 12, 32));
+        assert_eq!(
+            (l2.size_bytes, l2.ways, l2.latency, l2.mshrs),
+            (262144, 4, 12, 32)
+        );
         let llc = CacheConfig::paper_llc_baseline();
         assert_eq!((llc.ways, llc.latency, llc.mshrs), (20, 42, 256));
     }

@@ -468,7 +468,14 @@ mod tests {
         mem.core_access(Access::load(7, LineAddr(100), 0, Requester::Core(0)), 0);
         let (resps, dram) = run(&mut mem, 400, 50);
         assert_eq!(resps.len(), 1);
-        assert_eq!(resps[0], CoreResponse { core: 0, id: 7, is_write: false });
+        assert_eq!(
+            resps[0],
+            CoreResponse {
+                core: 0,
+                id: 7,
+                is_write: false
+            }
+        );
         assert_eq!(dram, 1);
     }
 

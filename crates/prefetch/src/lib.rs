@@ -252,7 +252,14 @@ mod tests {
     #[test]
     fn coverage_advances_without_duplicates() {
         let (mem, p) = setup();
-        let mut dmp = Dmp::new(DmpConfig { distance: 4, degree: 8, max_inflight: 64 }, 1);
+        let mut dmp = Dmp::new(
+            DmpConfig {
+                distance: 4,
+                degree: 8,
+                max_inflight: 64,
+            },
+            1,
+        );
         dmp.add_pattern(p);
         dmp.on_core_load(0, p.index_base, &mem); // covers 1..4
         dmp.on_core_load(0, p.index_base + 4, &mem); // i=1, covers 4..5 only
@@ -288,7 +295,14 @@ mod tests {
             index_shift: 4,
             index_mask: 0xff,
         };
-        let mut dmp = Dmp::new(DmpConfig { distance: 2, degree: 1, max_inflight: 8 }, 1);
+        let mut dmp = Dmp::new(
+            DmpConfig {
+                distance: 2,
+                degree: 1,
+                max_inflight: 8,
+            },
+            1,
+        );
         dmp.add_pattern(p);
         dmp.on_core_load(0, c.base(), &mem);
         // (0b1111_0000 & 0xff) >> 4 = 15 → line of A[15].

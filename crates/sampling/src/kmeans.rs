@@ -76,8 +76,14 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
     while centroids.len() < k {
         let far = (0..n)
             .max_by(|&a, &b| {
-                let da = centroids.iter().map(|c| dist2(&points[a], c)).fold(f64::MAX, f64::min);
-                let db = centroids.iter().map(|c| dist2(&points[b], c)).fold(f64::MAX, f64::min);
+                let da = centroids
+                    .iter()
+                    .map(|c| dist2(&points[a], c))
+                    .fold(f64::MAX, f64::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| dist2(&points[b], c))
+                    .fold(f64::MAX, f64::min);
                 da.total_cmp(&db)
             })
             .unwrap();
@@ -101,8 +107,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Vec<usize> {
             break;
         }
         for (c, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&Vec<f64>> =
-                points.iter().enumerate().filter(|(i, _)| assign[*i] == c).map(|(_, p)| p).collect();
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| assign[*i] == c)
+                .map(|(_, p)| p)
+                .collect();
             if members.is_empty() {
                 continue; // empty cluster keeps its old centroid
             }
@@ -123,7 +133,11 @@ pub fn representatives(
     max_reps: usize,
 ) -> Vec<(usize, usize)> {
     let k = assign.iter().copied().max().map_or(0, |m| m + 1);
-    let dims = if points.is_empty() { 0 } else { points[0].len() };
+    let dims = if points.is_empty() {
+        0
+    } else {
+        points[0].len()
+    };
     let mut reps = Vec::new();
     for c in 0..k {
         let members: Vec<usize> = (0..points.len()).filter(|&i| assign[i] == c).collect();
@@ -184,7 +198,9 @@ mod tests {
 
     #[test]
     fn kmeans_is_seed_deterministic() {
-        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         assert_eq!(kmeans(&pts, 4, 99), kmeans(&pts, 4, 99));
     }
 

@@ -45,9 +45,17 @@ use dx100_sim::{System, SystemCheckpoint, SystemConfig};
 
 pub use profile::{AccessSink, FeatureVec};
 pub use replay::{
-    plan, reconstitute, replay_window, run_parallel, scale_merge, IntervalPlan,
-    ReconstitutedRun, SamplePlan, SamplingErrors, WarmCache,
+    plan, reconstitute, replay_window, run_parallel, scale_merge, IntervalPlan, ReconstitutedRun,
+    SamplePlan, SamplingErrors, WarmCache,
 };
+
+/// Functional access model of a [`SampledStage`]: reports item `i`'s
+/// memory behaviour to the sink.
+pub type AccessFn = Box<dyn Fn(usize, &mut AccessSink) + Send + Sync>;
+
+/// Installer of a [`SampledStage`]: programs items `[lo, hi)` onto a
+/// restored system. Shared across replay threads.
+pub type InstallFn = Arc<dyn Fn(&mut System, usize, usize) + Send + Sync>;
 
 /// One kernel phase, described for sampled replay.
 pub struct SampledStage {
@@ -57,14 +65,14 @@ pub struct SampledStage {
     pub items: usize,
     /// Functional access model: report item `i`'s memory behaviour to the
     /// sink. Must be cheap — it runs once per item during profiling.
-    pub access: Box<dyn Fn(usize, &mut AccessSink) + Send + Sync>,
+    pub access: AccessFn,
     /// Programs items `[lo, hi)` onto a restored system. If this stage's
     /// *addresses* depended on values an earlier stage wrote, the installer
     /// would also have to apply those functional effects to the image
     /// first; the current kernels' address streams all derive from index
     /// arrays fixed at build time, so none do. Shared across replay
     /// threads, and called at most twice per replay (warmup + ROI window).
-    pub install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync>,
+    pub install: InstallFn,
     /// Arrays this stage accesses with reuse (e.g. IS's histogram), which
     /// the full run progressively pulls into the cache hierarchy. Replay
     /// restores from a cycle-0 checkpoint with cold caches, and item-range

@@ -107,11 +107,12 @@ impl AccessSink {
         );
         let indirect = interval_delta(c.indirect_accesses, p.indirect_accesses);
         let f = FeatureVec {
-            indirect_density: if accesses == 0 { 0.0 } else { indirect as f64 / accesses as f64 },
-            est_row_hit_rate: interval_rate(
-                (c.row_hits, p.row_hits),
-                (c.row_misses, p.row_misses),
-            ),
+            indirect_density: if accesses == 0 {
+                0.0
+            } else {
+                indirect as f64 / accesses as f64
+            },
+            est_row_hit_rate: interval_rate((c.row_hits, p.row_hits), (c.row_misses, p.row_misses)),
             est_mpki: interval_per_kilo(
                 (c.line_misses, p.line_misses),
                 (c.instructions, p.instructions),
@@ -142,7 +143,12 @@ pub struct FeatureVec {
 impl FeatureVec {
     /// The feature vector as a point for clustering.
     pub fn as_point(&self) -> Vec<f64> {
-        vec![self.indirect_density, self.est_row_hit_rate, self.est_mpki, self.indirect_pki]
+        vec![
+            self.indirect_density,
+            self.est_row_hit_rate,
+            self.est_mpki,
+            self.indirect_pki,
+        ]
     }
 }
 

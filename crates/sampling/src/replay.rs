@@ -1,9 +1,9 @@
 //! Window planning, parallel replay, and weighted reconstitution.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
-use dx100_common::stats::{RunningAverage, Ratio};
+use dx100_common::stats::{Ratio, RunningAverage};
 use dx100_common::Checkpoint;
 use dx100_core::MemoryImage;
 use dx100_cpu::{CoreOp, OpStream};
@@ -111,7 +111,10 @@ pub fn plan(run: &SampledRun, seed: u64, salt: &str) -> SamplePlan {
             });
         }
     }
-    SamplePlan { windows, total_intervals }
+    SamplePlan {
+        windows,
+        total_intervals,
+    }
 }
 
 /// Stream id for functional cache-warming sweeps; distinct from any kernel
@@ -163,19 +166,18 @@ struct WarmSweep {
 /// cache sets (a strided sweep concentrates into a subset of sets and
 /// measurably fails to retain). Ranges the full run has barely touched
 /// stay cold.
-fn warm_plan(
-    ranges: &[crate::Resident],
-    lo: usize,
-    dx100: bool,
-    cap_lines: u64,
-) -> Vec<WarmSweep> {
+fn warm_plan(ranges: &[crate::Resident], lo: usize, dx100: bool, cap_lines: u64) -> Vec<WarmSweep> {
     let mut sweeps = Vec::new();
     for r in ranges {
         let total = r.bytes.div_ceil(64);
         // In DX100 runs the engines execute the stage, and their accesses
         // only allocate LLC lines on the host-resident H-bit path; without
         // it the array's residency is whatever the cores left behind.
-        let during = if dx100 && !r.host_resident { 0 } else { lo as u64 };
+        let during = if dx100 && !r.host_resident {
+            0
+        } else {
+            lo as u64
+        };
         let t = (r.prior_touches + during) as f64;
         let coverage = 1.0 - (-t / total as f64).exp();
         let coverage = coverage.min(cap_lines as f64 / total as f64);
@@ -201,11 +203,11 @@ fn install_resident(sys: &mut System, sweeps: &[WarmSweep]) {
             if n > 0 {
                 sys.push_stream(
                     c as usize,
-                    Box::new(StrideSweep {
+                    StrideSweep {
                         addr: s.base + c * 64,
                         step: cores * 64,
                         remaining: n,
-                    }),
+                    },
                 );
             }
         }
@@ -237,8 +239,12 @@ impl Driver for WarmDriver<'_> {
 fn warmed_checkpoint(run: &SampledRun, sweeps: &[WarmSweep]) -> SystemCheckpoint {
     let mut sys = System::new(run.cfg.clone(), MemoryImage::default());
     sys.restore(&run.checkpoint);
-    sys.run(&mut WarmDriver { sweeps, installed: false });
-    sys.save().expect("a drained warmed system is always saveable")
+    sys.run(&mut WarmDriver {
+        sweeps,
+        installed: false,
+    });
+    sys.save()
+        .expect("a drained warmed system is always saveable")
 }
 
 /// Cache of warmed checkpoints for one kernel × mode's window replays,
@@ -341,7 +347,12 @@ pub fn replay_window(run: &SampledRun, plan: IntervalPlan, warm: &WarmCache) -> 
         installs.push((plan.stage, plan.warm_lo, plan.lo));
     }
     installs.push((plan.stage, plan.lo, plan.hi));
-    let mut driver = WindowDriver { run, installs, next: 0, roi_open: false };
+    let mut driver = WindowDriver {
+        run,
+        installs,
+        next: 0,
+        roi_open: false,
+    };
     sys.run(&mut driver)
 }
 
@@ -432,15 +443,27 @@ pub fn scale_merge(acc: &mut RunStats, s: &RunStats, f: f64) {
         su(&mut ax.rowtable_stall_cycles, sx.rowtable_stall_cycles, f);
         su(&mut ax.tlb_hits, sx.tlb_hits, f);
         su(&mut ax.tlb_misses, sx.tlb_misses, f);
-        su(&mut ax.coherency_invalidations, sx.coherency_invalidations, f);
+        su(
+            &mut ax.coherency_invalidations,
+            sx.coherency_invalidations,
+            f,
+        );
     }
     su(&mut acc.dmp_prefetches, s.dmp_prefetches, f);
 }
 
 /// Per-metric relative sampling-error estimates, from the within-cluster
 /// spread of each cluster's representatives (standard error of the
-/// weighted-cluster estimator; clusters with one representative
-/// contribute no measurable spread).
+/// weighted-cluster estimator).
+///
+/// Clusters with a single representative have no measurable spread of
+/// their own; they borrow the pooled relative variance of the
+/// multi-representative clusters as a conservative stand-in. When *no*
+/// cluster has two or more representatives there is nothing to pool, the
+/// reported errors are a lower bound (zero), and [`lower_bound`] is set
+/// so downstream reports can say so instead of claiming perfect accuracy.
+///
+/// [`lower_bound`]: SamplingErrors::lower_bound
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SamplingErrors {
     /// Relative standard error of the reconstituted cycle count (this
@@ -450,6 +473,10 @@ pub struct SamplingErrors {
     pub row_buffer_hit_rate: f64,
     /// Relative standard error of LLC MPKI.
     pub llc_mpki: f64,
+    /// True when every cluster had exactly one representative: no
+    /// within-cluster spread was observable anywhere, so the error
+    /// fields understate the true sampling error.
+    pub lower_bound: bool,
 }
 
 /// A reconstituted full-run estimate plus its error bars.
@@ -472,10 +499,19 @@ pub fn reconstitute(plan: &SamplePlan, results: &[RunStats]) -> ReconstitutedRun
     for (w, r) in plan.windows.iter().zip(results) {
         scale_merge(&mut stats, r, w.factor);
     }
+    // Whether any cluster has two or more representatives is a property
+    // of the plan, not of the metric: with none, every per-metric error
+    // below degenerates to zero and must be labeled a lower bound.
+    let mut members: BTreeMap<usize, usize> = BTreeMap::new();
+    for w in &plan.windows {
+        *members.entry(w.cluster).or_default() += 1;
+    }
+    let lower_bound = !members.values().any(|&n| n >= 2);
     let errors = SamplingErrors {
         cycles: metric_rel_stderr(plan, results, |r| r.cycles as f64),
         row_buffer_hit_rate: metric_rel_stderr(plan, results, |r| r.row_buffer_hit_rate()),
         llc_mpki: metric_rel_stderr(plan, results, |r| r.llc_mpki()),
+        lower_bound,
     };
     ReconstitutedRun {
         stats,
@@ -489,28 +525,60 @@ pub fn reconstitute(plan: &SamplePlan, results: &[RunStats]) -> ReconstitutedRun
 /// cluster, the sample variance across that cluster's representatives,
 /// propagated through the cluster weights
 /// (`stderr² = Σ_c w_c² · s_c² / n_c`, relative to the weighted mean).
+///
+/// Singleton clusters (one representative) have `s_c²` unobservable; they
+/// borrow the degrees-of-freedom-pooled *relative* variance of the
+/// multi-representative clusters, scaled back by their own mean — a
+/// conservative stand-in that assumes they are no better behaved than the
+/// clusters whose spread we could measure. With no multi-representative
+/// clusters at all the pooled term is zero and the result is a lower
+/// bound (flagged via [`SamplingErrors::lower_bound`]).
 fn metric_rel_stderr(
     plan: &SamplePlan,
     results: &[RunStats],
     metric: impl Fn(&RunStats) -> f64,
 ) -> f64 {
-    use std::collections::HashMap;
-    let mut clusters: HashMap<usize, (f64, Vec<f64>)> = HashMap::new();
+    // BTreeMap, not HashMap: iterating below fixes the float summation
+    // order, which is part of the byte-identical report contract — a
+    // hash-seeded order would let the same sweep print different
+    // low-order error digits run to run.
+    let mut clusters: BTreeMap<usize, (f64, Vec<f64>)> = BTreeMap::new();
     for (w, r) in plan.windows.iter().zip(results) {
         let e = clusters.entry(w.cluster).or_insert((0.0, Vec::new()));
         e.0 += w.factor;
         e.1.push(metric(r));
     }
+    let (mut pooled_num, mut pooled_dof) = (0.0, 0.0);
+    for (_, vals) in clusters.values() {
+        let n = vals.len() as f64;
+        if vals.len() < 2 {
+            continue;
+        }
+        let mean = vals.iter().sum::<f64>() / n;
+        if mean.abs() < 1e-12 {
+            continue;
+        }
+        let s2 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        pooled_num += s2 / (mean * mean) * (n - 1.0);
+        pooled_dof += n - 1.0;
+    }
+    let pooled_rel2 = if pooled_dof > 0.0 {
+        pooled_num / pooled_dof
+    } else {
+        0.0
+    };
     let mut total = 0.0;
     let mut var = 0.0;
     for (weight, vals) in clusters.values() {
         let n = vals.len() as f64;
         let mean = vals.iter().sum::<f64>() / n;
         total += weight * mean;
-        if vals.len() > 1 {
-            let s2 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
-            var += weight * weight * s2 / n;
-        }
+        let s2 = if vals.len() > 1 {
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            pooled_rel2 * mean * mean
+        };
+        var += weight * weight * s2 / n;
     }
     if total.abs() < 1e-12 {
         0.0
@@ -559,9 +627,33 @@ mod tests {
         };
         let plan = SamplePlan {
             windows: vec![
-                IntervalPlan { stage: 0, lo: 0, hi: 10, warm_lo: 0, factor: 2.0, cluster: 0, cluster_reps: 2 },
-                IntervalPlan { stage: 0, lo: 20, hi: 30, warm_lo: 18, factor: 2.0, cluster: 0, cluster_reps: 2 },
-                IntervalPlan { stage: 0, lo: 40, hi: 50, warm_lo: 38, factor: 4.0, cluster: 1, cluster_reps: 1 },
+                IntervalPlan {
+                    stage: 0,
+                    lo: 0,
+                    hi: 10,
+                    warm_lo: 0,
+                    factor: 2.0,
+                    cluster: 0,
+                    cluster_reps: 2,
+                },
+                IntervalPlan {
+                    stage: 0,
+                    lo: 20,
+                    hi: 30,
+                    warm_lo: 18,
+                    factor: 2.0,
+                    cluster: 0,
+                    cluster_reps: 2,
+                },
+                IntervalPlan {
+                    stage: 0,
+                    lo: 40,
+                    hi: 50,
+                    warm_lo: 38,
+                    factor: 4.0,
+                    cluster: 1,
+                    cluster_reps: 1,
+                },
             ],
             total_intervals: 8,
         };
@@ -574,5 +666,61 @@ mod tests {
         // a *relative* error well under 100%.
         assert!(rec.errors.cycles > 0.0);
         assert!(rec.errors.cycles < 0.5);
+        // A multi-representative cluster exists, so the estimate is a
+        // proper standard error, not a lower bound.
+        assert!(!rec.errors.lower_bound);
+
+        // The singleton cluster 1 borrows cluster 0's pooled relative
+        // variance instead of contributing zero. Check the exact value
+        // (cluster weights are the summed factors, 4 each):
+        //   cluster 0: mean 110, s² = 200, rel² = 200/110²
+        //   cluster 1: s² = rel² · 50²
+        //   stderr² = 4²·200/2 + 4²·(rel²·50²)/1, total = 640.
+        let pooled_rel2 = 200.0 / (110.0f64 * 110.0);
+        let expected = (16.0 * 200.0 / 2.0 + 16.0 * pooled_rel2 * 2500.0).sqrt() / 640.0;
+        assert!(
+            (rec.errors.cycles - expected).abs() < 1e-12,
+            "{} != {expected}",
+            rec.errors.cycles
+        );
+    }
+
+    #[test]
+    fn all_singleton_clusters_report_a_lower_bound() {
+        let mk = |cycles: u64| {
+            let mut r = RunStats::default();
+            r.cycles = cycles;
+            r.instructions = cycles;
+            r
+        };
+        let plan = SamplePlan {
+            windows: vec![
+                IntervalPlan {
+                    stage: 0,
+                    lo: 0,
+                    hi: 10,
+                    warm_lo: 0,
+                    factor: 3.0,
+                    cluster: 0,
+                    cluster_reps: 1,
+                },
+                IntervalPlan {
+                    stage: 0,
+                    lo: 20,
+                    hi: 30,
+                    warm_lo: 18,
+                    factor: 5.0,
+                    cluster: 1,
+                    cluster_reps: 1,
+                },
+            ],
+            total_intervals: 8,
+        };
+        let rec = reconstitute(&plan, &[mk(100), mk(70)]);
+        // No cluster has measurable spread: the error fields degenerate to
+        // zero and must be flagged as a lower bound, not silently reported
+        // as a perfect estimate.
+        assert_eq!(rec.errors.cycles, 0.0);
+        assert!(rec.errors.lower_bound);
     }
 }

@@ -30,7 +30,6 @@
 //! # let _: Option<RunStats> = None;
 //! ```
 
-pub mod channel;
 pub mod config;
 pub mod driver;
 pub mod epoch;
@@ -39,7 +38,6 @@ pub mod report;
 pub mod stats;
 pub mod system;
 
-pub use channel::ChannelStream;
 pub use config::{ObservabilityConfig, SystemConfig};
 pub use driver::{Driver, DriverStatus};
 pub use dx100_common::{Checkpoint, CheckpointError};

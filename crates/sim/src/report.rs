@@ -146,10 +146,7 @@ fn dx100_json(dx: &dx100_core::Dx100Stats) -> Json {
         ("rowtable_stall_cycles", dx.rowtable_stall_cycles.into()),
         ("tlb_hits", dx.tlb_hits.into()),
         ("tlb_misses", dx.tlb_misses.into()),
-        (
-            "coherency_invalidations",
-            dx.coherency_invalidations.into(),
-        ),
+        ("coherency_invalidations", dx.coherency_invalidations.into()),
     ])
 }
 
@@ -241,7 +238,11 @@ mod tests {
         ] {
             assert!(epochs[0].get(key).is_some(), "missing epoch key {key}");
         }
-        assert!(parsed.get("dx100").unwrap().get("coalescing_factor").is_some());
+        assert!(parsed
+            .get("dx100")
+            .unwrap()
+            .get("coalescing_factor")
+            .is_some());
         // No trace recorded → explicit null, not a missing key.
         assert_eq!(parsed.get("trace_events"), Some(&Json::Null));
     }

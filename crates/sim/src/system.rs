@@ -6,12 +6,11 @@ use dx100_common::flags::{FlagBoard, FlagId};
 use dx100_common::{Addr, CoreId, Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 use dx100_core::isa::{Instruction, RegId, TileId};
 use dx100_core::{Dx100Engine, MemPorts, MemoryImage};
-use dx100_cpu::{Core, CoreOp, MemKind, OpStream};
+use dx100_cpu::{Core, CoreOp, MemKind, OpStream, OpStreamKind};
 use dx100_dram::{DramSystem, MemRequest};
 use dx100_mem::{Access, DramBound, MemoryHierarchy, Requester};
 use dx100_prefetch::Dmp;
 
-use crate::channel::ChannelStream;
 use crate::config::SystemConfig;
 use crate::driver::{Driver, DriverStatus};
 use crate::epoch::EpochSampler;
@@ -85,7 +84,6 @@ pub struct System {
     cfg: SystemConfig,
     clock: Cycle,
     cores: Vec<Core>,
-    channels: Vec<ChannelStream>,
     hier: MemoryHierarchy,
     dram: DramSystem,
     engines: Vec<Dx100Engine>,
@@ -126,6 +124,13 @@ pub struct System {
     /// without re-checking the machine. Invalidated by every driver-facing
     /// mutation (see [`System::wake`]).
     skip_until: Cycle,
+    /// Start of the elided-but-uncredited span `[span_start, clock)`.
+    /// While a certificate is live, elided cycles only advance the clock;
+    /// their stat/trace bookkeeping is credited in one batched
+    /// [`System::settle`] call when the span closes (certificate expiry or
+    /// [`System::wake`]). Invariant everywhere outside the skip fast path:
+    /// `span_start == clock`.
+    span_start: Cycle,
     /// Root trace handle when tracing is on; components hold child handles.
     trace_root: Option<TraceHandle>,
     /// Epoch time-series sampler when epoch sampling is on.
@@ -135,9 +140,8 @@ pub struct System {
 impl System {
     /// Builds the machine over an application memory image.
     pub fn new(cfg: SystemConfig, image: MemoryImage) -> Self {
-        let channels: Vec<ChannelStream> = (0..cfg.cores).map(|_| ChannelStream::new()).collect();
         let mut cores: Vec<Core> = (0..cfg.cores)
-            .map(|c| Core::new(c, cfg.core.clone(), Box::new(channels[c].clone())))
+            .map(|c| Core::new(c, cfg.core.clone(), OpStreamKind::channel()))
             .collect();
         let mut hier = MemoryHierarchy::new(cfg.hierarchy.clone());
         let mut dram = DramSystem::new(cfg.dram.clone());
@@ -173,7 +177,6 @@ impl System {
         System {
             clock: 0,
             cores,
-            channels,
             hier,
             dram,
             engines,
@@ -199,6 +202,7 @@ impl System {
             skipped_cycles: 0,
             skip_events: 0,
             skip_until: 0,
+            span_start: 0,
             trace_root,
             sampler,
             cfg,
@@ -261,14 +265,14 @@ impl System {
     /// Appends literal micro-ops to a core's program.
     pub fn push_ops<I: IntoIterator<Item = CoreOp>>(&mut self, core: CoreId, ops: I) {
         self.wake();
-        self.channels[core].inner().push_ops(ops);
+        self.cores[core].channel_mut().push_ops(ops);
         self.cores[core].nudge();
     }
 
     /// Appends a lazy op generator to a core's program.
-    pub fn push_stream(&mut self, core: CoreId, gen: Box<dyn OpStream + Send>) {
+    pub fn push_stream(&mut self, core: CoreId, gen: impl OpStream + Send + 'static) {
         self.wake();
-        self.channels[core].inner().push_stream(gen);
+        self.cores[core].channel_mut().push_gen(Box::new(gen));
         self.cores[core].nudge();
     }
 
@@ -292,8 +296,14 @@ impl System {
         self.push_ops(
             core,
             [
-                CoreOp::Mmio { latency, signal: None },
-                CoreOp::Mmio { latency, signal: None },
+                CoreOp::Mmio {
+                    latency,
+                    signal: None,
+                },
+                CoreOp::Mmio {
+                    latency,
+                    signal: None,
+                },
                 CoreOp::Mmio {
                     latency,
                     signal: Some(action),
@@ -424,6 +434,10 @@ impl System {
 
     /// Ends the region of interest, snapshotting statistics.
     pub fn roi_end(&mut self) {
+        // Any elided-but-uncredited span must be folded into the stats
+        // before the snapshot (and the certificate no longer describes the
+        // machine the driver is about to mutate).
+        self.wake();
         self.roi_snapshot = Some(self.collect_stats());
     }
 
@@ -459,6 +473,7 @@ impl System {
     /// Closes open trace spans, records the final (partial) epoch, and
     /// attaches both to the run's statistics.
     fn finalize_observability(&mut self) -> RunStats {
+        self.settle();
         let now = self.clock;
         if self.trace_root.is_some() {
             for c in &mut self.cores {
@@ -468,7 +483,10 @@ impl System {
                 e.finish_trace(now);
             }
         }
-        let mut stats = self.roi_snapshot.take().unwrap_or_else(|| self.collect_stats());
+        let mut stats = self
+            .roi_snapshot
+            .take()
+            .unwrap_or_else(|| self.collect_stats());
         if self.sampler.is_some() {
             let cumulative = self.collect_stats();
             let depth = self.dx100_queue_depth();
@@ -607,33 +625,56 @@ impl System {
         }
         self.skip_until = target;
         self.skip_events += 1;
-        self.elide_cycle();
+        // `settle` ran just before `try_skip`, so `span_start == now`:
+        // eliding is now just the clock increment; crediting is deferred
+        // to the batched `settle` when the span closes.
+        self.skipped_cycles += 1;
+        self.clock = now + 1;
         true
     }
 
-    /// Elides one certified-quiescent cycle: replays exactly the
-    /// bookkeeping a no-op tick would have done (stall/idle accounting,
-    /// occupancy samples, trace span updates, the every-other-cycle DRAM
-    /// tick counter) and advances the clock by one.
-    fn elide_cycle(&mut self) {
-        let now = self.clock;
+    /// Credits the elided span `[span_start, clock)` in one batch: exactly
+    /// the bookkeeping per-cycle no-op ticks would have done (stall/idle
+    /// accounting, occupancy samples via `RunningAverage::sample_n`, trace
+    /// span updates, the every-other-cycle DRAM tick counter). Bit-identical
+    /// to per-cycle crediting because a quiescent span's idle classification
+    /// is constant — its inputs are frozen until the certificate expires or
+    /// is revoked — and all batched samples sit on a dyadic grid.
+    ///
+    /// Public because drivers that checkpoint mid-run must settle before
+    /// calling [`Checkpoint::save`](dx100_common::Checkpoint::save):
+    /// with cycle skipping on, the clock can run ahead of the credited
+    /// stats inside a certified span, and a checkpoint taken there would
+    /// silently drop the span's idle accounting. Settling is idempotent
+    /// and leaves any active skip certificate intact.
+    pub fn settle(&mut self) {
+        let (from, to) = (self.span_start, self.clock);
+        if from >= to {
+            return;
+        }
         for core in &mut self.cores {
-            core.credit_idle_span(now, now + 1, &self.flags);
+            core.credit_idle_span(from, to, &self.flags);
         }
         for e in &mut self.engines {
-            e.credit_idle_span(now, now + 1);
+            e.credit_idle_span(from, to);
         }
-        if now.is_multiple_of(self.cfg.cpu_cycles_per_dram_tick) {
-            self.dram.credit_idle_ticks(1);
+        // DRAM ticks at every multiple of `m`; the span covers the ticks
+        // in [from, to), i.e. ceil(to/m) - ceil(from/m) of them.
+        let m = self.cfg.cpu_cycles_per_dram_tick;
+        let ticks = to.div_ceil(m) - from.div_ceil(m);
+        if ticks > 0 {
+            self.dram.credit_idle_ticks(ticks);
         }
-        self.skipped_cycles += 1;
-        self.clock = now + 1;
+        self.span_start = to;
     }
 
-    /// Revokes the cached quiescence certificate. Every driver-facing
-    /// method that can change machine state calls this, so work injected
-    /// between steps is picked up on the very next cycle.
+    /// Revokes the cached quiescence certificate, settling any pending
+    /// elided span first (the settle must see the pre-mutation machine, so
+    /// driver-facing methods call `wake` *before* mutating state). Every
+    /// driver-facing method that can change machine state calls this, so
+    /// work injected between steps is picked up on the very next cycle.
     fn wake(&mut self) {
+        self.settle();
         self.skip_until = 0;
     }
 
@@ -641,9 +682,13 @@ impl System {
     pub fn step(&mut self) {
         if self.cfg.cycle_skip {
             if self.clock < self.skip_until {
-                self.elide_cycle();
+                // Inside a certified span: the entire per-cycle cost is
+                // these two increments; crediting happens in `settle`.
+                self.skipped_cycles += 1;
+                self.clock += 1;
                 return;
             }
+            self.settle();
             if self.try_skip() {
                 return;
             }
@@ -808,6 +853,9 @@ impl System {
         }
 
         self.clock += 1;
+        // An executed cycle is its own bookkeeping; only elided cycles
+        // leave the span marker behind the clock.
+        self.span_start = self.clock;
     }
 
     fn apply_action(&mut self, action: MmioAction) {
@@ -1008,7 +1056,6 @@ impl System {
 pub struct SystemCheckpoint {
     clock: Cycle,
     cores: Vec<dx100_cpu::CoreState>,
-    channels: Vec<Vec<crate::channel::SegmentState>>,
     hier: MemoryHierarchy,
     dram: DramSystem,
     engines: Vec<Dx100Engine>,
@@ -1048,21 +1095,24 @@ const _: fn() = || {
 impl dx100_common::Checkpoint for System {
     type State = SystemCheckpoint;
 
-    /// Snapshots the whole machine. Core-side op streams are *not* captured
-    /// from the cores themselves (their stream is the shared channel); the
-    /// channel contents are saved separately and re-wired on restore.
+    /// Snapshots the whole machine. Core-side op streams — channel
+    /// contents included, since each core owns its channel — are captured
+    /// as part of the per-core state.
     fn save(&self) -> Result<SystemCheckpoint, dx100_common::CheckpointError> {
+        // A checkpoint must not be taken while an elided span is pending:
+        // its stats would be missing the span's credit. `run` settles on
+        // exit and `step`/`wake` re-establish the invariant everywhere
+        // else; drivers checkpointing mid-run call `System::settle` first.
+        debug_assert_eq!(
+            self.span_start, self.clock,
+            "checkpoint taken with an unsettled skip span"
+        );
         Ok(SystemCheckpoint {
             clock: self.clock,
             cores: self
                 .cores
                 .iter()
-                .map(|c| c.save_state(false))
-                .collect::<Result<_, _>>()?,
-            channels: self
-                .channels
-                .iter()
-                .map(|ch| ch.inner().save_segments())
+                .map(|c| c.save_state())
                 .collect::<Result<_, _>>()?,
             hier: self.hier.clone(),
             dram: self.dram.clone(),
@@ -1089,16 +1139,12 @@ impl dx100_common::Checkpoint for System {
 
     /// Restores a checkpoint into this system. The system must have been
     /// built with an equivalent [`SystemConfig`]; its own configuration and
-    /// trace root are kept, everything else is overwritten. Cores keep the
-    /// channel handles they were constructed with — only the channels'
-    /// queued contents are replaced.
+    /// trace root are kept, everything else — channel contents included —
+    /// is overwritten.
     fn restore(&mut self, s: &SystemCheckpoint) {
         self.clock = s.clock;
         for (core, cs) in self.cores.iter_mut().zip(&s.cores) {
             core.restore_state(cs);
-        }
-        for (ch, segs) in self.channels.iter().zip(&s.channels) {
-            ch.inner().restore_segments(segs);
         }
         self.hier = s.hier.clone();
         self.dram = s.dram.clone();
@@ -1121,7 +1167,9 @@ impl dx100_common::Checkpoint for System {
         self.skipped_cycles = s.skipped_cycles;
         self.skip_events = s.skip_events;
         // The certificate described the pre-restore machine; re-derive it.
+        // The checkpoint was settled at save time, so no span is pending.
         self.skip_until = 0;
+        self.span_start = self.clock;
     }
 }
 

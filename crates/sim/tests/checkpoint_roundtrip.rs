@@ -107,8 +107,7 @@ impl Driver for TestDriver {
                     let cores = sys.num_cores();
                     for c in 0..cores {
                         let chunk = self.n / cores as u64;
-                        let (lo, hi) =
-                            (c as u64 * chunk, ((c as u64 + 1) * chunk).min(self.n));
+                        let (lo, hi) = (c as u64 * chunk, ((c as u64 + 1) * chunk).min(self.n));
                         let mut ops = Vec::new();
                         for i in lo..hi {
                             let idx = sys.image_ref().read_elem(self.b, i);
@@ -129,6 +128,9 @@ impl Driver for TestDriver {
         match self.save_at {
             Some(at) if self.saved.is_none() => {
                 if sys.now() >= at {
+                    // A mid-run checkpoint must settle any elided-but-
+                    // uncredited skip span before snapshotting stats.
+                    sys.settle();
                     self.saved = Some(sys.save().expect("mid-run checkpoint must succeed"));
                     DriverStatus::Done
                 } else {
@@ -168,7 +170,13 @@ fn build_system(machine: Machine, w: Workload, trace: bool) -> System {
 fn summary(s: &RunStats) -> String {
     format!(
         "cycles={} instr={} core={:?} dram={:?} ch={} hier={:?} dx={:?} dmp={}",
-        s.cycles, s.instructions, s.core, s.dram, s.dram_channels, s.hierarchy, s.dx100,
+        s.cycles,
+        s.instructions,
+        s.core,
+        s.dram,
+        s.dram_channels,
+        s.hierarchy,
+        s.dx100,
         s.dmp_prefetches
     )
 }

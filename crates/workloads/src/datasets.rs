@@ -92,7 +92,11 @@ pub fn sparse_matrix(n: usize, nnz_per_row: usize, seed: u64) -> SparseMatrix {
         }
         offsets.push(cols.len() as u32);
     }
-    SparseMatrix { offsets, cols, vals }
+    SparseMatrix {
+        offsets,
+        cols,
+        vals,
+    }
 }
 
 /// UME-style index map: `n` indices into an array of `n` points with a mean

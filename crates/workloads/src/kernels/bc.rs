@@ -20,7 +20,9 @@ use dx100_sim::{System, SystemConfig};
 use crate::datasets::{uniform_graph, Csr};
 use crate::kernels::bfs::INF;
 use crate::kernels::is::split_tiles;
-use crate::util::{checksum, chunks, core_regs, install_jobs, set8_core, tile_set8, Phase, PhasedDriver, TileJob};
+use crate::util::{
+    checksum, chunks, core_regs, install_jobs, set8_core, tile_set8, Phase, PhasedDriver, TileJob,
+};
 use crate::{KernelRun, Mode, Scale, WorkloadResult};
 
 const S_K: u32 = 1;
@@ -95,9 +97,8 @@ impl LevelStream {
             });
             self.pending.push_back(CoreOp::alu().with_dep(1)); // compare
             if self.depth[v] == self.d + 1 {
-                self.pending.push_back(
-                    CoreOp::atomic(self.h_sigma.addr_of(v as u64), S_SIGMA).with_dep(1),
-                );
+                self.pending
+                    .push_back(CoreOp::atomic(self.h_sigma.addr_of(v as u64), S_SIGMA).with_dep(1));
             }
         }
     }
@@ -224,7 +225,7 @@ impl KernelRun for BetweennessCentrality {
                         for (c, (lo, hi)) in parts.iter().enumerate() {
                             sys.push_stream(
                                 c,
-                                Box::new(LevelStream {
+                                LevelStream {
                                     g: g2.clone(),
                                     frontier: frontier2.clone(),
                                     depth: depth_rc.clone(),
@@ -237,7 +238,7 @@ impl KernelRun for BetweennessCentrality {
                                     i: *lo,
                                     hi: *hi,
                                     pending: Default::default(),
-                                }),
+                                },
                             );
                         }
                     }
@@ -265,7 +266,14 @@ impl KernelRun for BetweennessCentrality {
                                         (r[5], d as u64 + 1),
                                     ],
                                     instrs: vec![
-                                        Instruction::sld(DType::U32, h_k.base(), gt[0], r[0], r[1], r[2]),
+                                        Instruction::sld(
+                                            DType::U32,
+                                            h_k.base(),
+                                            gt[0],
+                                            r[0],
+                                            r[1],
+                                            r[2],
+                                        ),
                                         Instruction::ild(DType::U32, h_off.base(), gt[1], gt[0]),
                                         Instruction::Alus {
                                             dtype: DType::U32,

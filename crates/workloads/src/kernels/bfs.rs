@@ -186,7 +186,7 @@ impl BfsDriver {
                 for (c, (lo, hi)) in parts.iter().enumerate() {
                     sys.push_stream(
                         c,
-                        Box::new(LevelStream {
+                        LevelStream {
                             shared: self.shared.clone(),
                             unvisited: unvisited.clone(),
                             depth: depth.clone(),
@@ -194,7 +194,7 @@ impl BfsDriver {
                             i: *lo,
                             hi: *hi,
                             pending: Default::default(),
-                        }),
+                        },
                     );
                 }
             }

@@ -20,8 +20,8 @@ use dx100_sim::{System, SystemConfig};
 use crate::datasets::{sparse_matrix, SparseMatrix};
 use crate::kernels::is::split_tiles;
 use crate::util::{
-    checksum, chunks, core_regs, install_jobs, quantize_f64, tile_set4, Phase,
-    PhasedDriver, TileJob,
+    checksum, chunks, core_regs, install_jobs, quantize_f64, tile_set4, Phase, PhasedDriver,
+    TileJob,
 };
 use crate::{KernelRun, Mode, Scale, WorkloadResult};
 
@@ -115,13 +115,10 @@ impl OpStream for SpmvStream {
             if self.j >= row_end {
                 // End of row: store y[r].
                 self.row += 1;
-                self.j = (self.m.offsets[self.row.min(self.row_hi)] as usize)
-                    .min(self.m.cols.len());
+                self.j =
+                    (self.m.offsets[self.row.min(self.row_hi)] as usize).min(self.m.cols.len());
                 if self.row <= self.row_hi {
-                    return Some(CoreOp::store(
-                        self.h_y.addr_of((self.row - 1) as u64),
-                        S_Y,
-                    ));
+                    return Some(CoreOp::store(self.h_y.addr_of((self.row - 1) as u64), S_Y));
                 }
                 continue;
             }
@@ -190,7 +187,7 @@ impl KernelRun for ConjugateGradient {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(SpmvStream {
+                            SpmvStream {
                                 m: m.clone(),
                                 h_col,
                                 h_val,
@@ -200,7 +197,7 @@ impl KernelRun for ConjugateGradient {
                                 row_hi: *hi,
                                 j: m.offsets[*lo] as usize,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 }));
@@ -227,10 +224,7 @@ impl KernelRun for ConjugateGradient {
                             let mut post = Vec::with_capacity(n * 4 + n / 16 + 1);
                             for i in 0..n {
                                 post.push(CoreOp::load(h_val.addr_of((lo + i) as u64), S_VAL));
-                                post.push(CoreOp::load(
-                                    sys.spd_elem_addr(core, g[1], i),
-                                    S_SPD,
-                                ));
+                                post.push(CoreOp::load(sys.spd_elem_addr(core, g[1], i), S_SPD));
                                 post.push(CoreOp::alu().with_dep(1).with_dep(2));
                                 post.push(CoreOp::alu().with_dep(1));
                                 if i % 16 == 15 {
@@ -241,13 +235,16 @@ impl KernelRun for ConjugateGradient {
                                 core,
                                 pre_ops: vec![],
                                 tile_writes: vec![],
-                                reg_writes: vec![
-                                    (r[0], *lo as u64),
-                                    (r[1], 1),
-                                    (r[2], n as u64),
-                                ],
+                                reg_writes: vec![(r[0], *lo as u64), (r[1], 1), (r[2], n as u64)],
                                 instrs: vec![
-                                    Instruction::sld(DType::U32, h_col.base(), g[0], r[0], r[1], r[2]),
+                                    Instruction::sld(
+                                        DType::U32,
+                                        h_col.base(),
+                                        g[0],
+                                        r[0],
+                                        r[1],
+                                        r[2],
+                                    ),
                                     Instruction::ild(DType::F64, h_x.base(), g[1], g[0]),
                                 ],
                                 post_ops: post,

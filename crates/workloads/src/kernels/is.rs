@@ -13,11 +13,11 @@
 use std::sync::Arc;
 
 use dx100_common::{AluOp, DType};
-use dx100_sampling::{AccessSink, Resident, SampledRun, SampledStage};
 use dx100_core::isa::Instruction;
 use dx100_core::ArrayHandle;
 use dx100_cpu::{CoreOp, OpStream};
 use dx100_prefetch::IndirectPattern;
+use dx100_sampling::{AccessSink, InstallFn, Resident, SampledRun, SampledStage};
 use dx100_sim::{System, SystemConfig};
 
 use crate::datasets::rng;
@@ -312,19 +312,19 @@ impl KernelRun for IntegerSort {
             s.indirect(h_hist.addr_of(ak[i] as u64));
         });
         let ik = d.keys.clone();
-        let hist_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+        let hist_install: InstallFn = match mode {
             Mode::Baseline | Mode::Dmp => Arc::new(move |sys: &mut System, lo, hi| {
                 for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                     sys.push_stream(
                         c,
-                        Box::new(HistStream {
+                        HistStream {
                             keys: ik.clone(),
                             h_keys,
                             h_hist,
                             i: lo + plo,
                             hi: lo + phi,
                             step: 0,
-                        }),
+                        },
                     );
                 }
             }),
@@ -348,18 +348,17 @@ impl KernelRun for IntegerSort {
             s.alu(1);
             s.stream(h_hist.addr_of(k as u64));
         });
-        let prefix_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
-            Arc::new(move |sys: &mut System, lo, hi| {
-                sys.push_stream(
-                    0,
-                    Box::new(PrefixStream {
-                        h_hist,
-                        k: lo,
-                        n: hi,
-                        step: 0,
-                    }),
-                );
-            });
+        let prefix_install: InstallFn = Arc::new(move |sys: &mut System, lo, hi| {
+            sys.push_stream(
+                0,
+                PrefixStream {
+                    h_hist,
+                    k: lo,
+                    n: hi,
+                    step: 0,
+                },
+            );
+        });
 
         let ak = d.keys.clone();
         let rank_access = Box::new(move |i: usize, s: &mut AccessSink| {
@@ -369,12 +368,12 @@ impl KernelRun for IntegerSort {
             s.stream(h_rank.addr_of(i as u64));
         });
         let ik = d.keys.clone();
-        let rank_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+        let rank_install: InstallFn = match mode {
             Mode::Baseline | Mode::Dmp => Arc::new(move |sys: &mut System, lo, hi| {
                 for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                     sys.push_stream(
                         c,
-                        Box::new(RankStream {
+                        RankStream {
                             keys: ik.clone(),
                             h_keys,
                             h_hist,
@@ -382,7 +381,7 @@ impl KernelRun for IntegerSort {
                             i: lo + plo,
                             hi: lo + phi,
                             step: 0,
-                        }),
+                        },
                     );
                 }
             }),
@@ -456,14 +455,14 @@ fn baseline_phases(d: &Data, keys: usize, key_space: usize, cores: usize) -> Vec
         for (c, (lo, hi)) in parts.iter().enumerate() {
             sys.push_stream(
                 c,
-                Box::new(HistStream {
+                HistStream {
                     keys: keys_rc.clone(),
                     h_keys,
                     h_hist,
                     i: *lo,
                     hi: *hi,
                     step: 0,
-                }),
+                },
             );
         }
     }));
@@ -472,12 +471,12 @@ fn baseline_phases(d: &Data, keys: usize, key_space: usize, cores: usize) -> Vec
     phases.push(Phase::setup(move |sys| {
         sys.push_stream(
             0,
-            Box::new(PrefixStream {
+            PrefixStream {
                 h_hist,
                 k: 0,
                 n: key_space,
                 step: 0,
-            }),
+            },
         );
     }));
     phases.push(Phase::WaitCoresIdle);
@@ -488,7 +487,7 @@ fn baseline_phases(d: &Data, keys: usize, key_space: usize, cores: usize) -> Vec
         for (c, (lo, hi)) in parts.iter().enumerate() {
             sys.push_stream(
                 c,
-                Box::new(RankStream {
+                RankStream {
                     keys: keys_rc.clone(),
                     h_keys,
                     h_hist,
@@ -496,7 +495,7 @@ fn baseline_phases(d: &Data, keys: usize, key_space: usize, cores: usize) -> Vec
                     i: *lo,
                     hi: *hi,
                     step: 0,
-                }),
+                },
             );
         }
     }));
@@ -512,7 +511,11 @@ fn dx100_phases(
     cores: usize,
     cfg: &SystemConfig,
 ) -> Vec<Phase> {
-    let tile = cfg.dx100.as_ref().expect("DX100 mode requires config").tile_elems;
+    let tile = cfg
+        .dx100
+        .as_ref()
+        .expect("DX100 mode requires config")
+        .tile_elems;
     let (h_keys, h_hist, h_rank) = (d.h_keys, d.h_hist, d.h_rank);
     let mut phases = vec![Phase::RoiBegin];
 
@@ -540,12 +543,12 @@ fn dx100_phases(
         }
         sys.push_stream(
             0,
-            Box::new(PrefixStream {
+            PrefixStream {
                 h_hist,
                 k: 0,
                 n: key_space,
                 step: 0,
-            }),
+            },
         );
     }));
     phases.push(Phase::WaitCoresIdle);
@@ -580,7 +583,12 @@ fn hist_tile(
         core,
         pre_ops: vec![],
         tile_writes: vec![],
-        reg_writes: vec![(r[0], lo as u64), (r[1], 1), (r[2], (hi - lo) as u64), (r[3], 0)],
+        reg_writes: vec![
+            (r[0], lo as u64),
+            (r[1], 1),
+            (r[2], (hi - lo) as u64),
+            (r[3], 0),
+        ],
         instrs: vec![
             Instruction::sld(DType::U32, h_keys.base(), g[0], r[0], r[1], r[2]),
             // ones[i] = (keys[i] >= 0) — an all-ones value tile.
@@ -681,8 +689,7 @@ mod tests {
             assert_eq!(run.stages.len(), 3);
             let plan = dx100_sampling::plan(&run, 1, "is/test");
             assert!(!plan.windows.is_empty());
-            let stats =
-                dx100_sampling::replay_window(&run, plan.windows[0], &Default::default());
+            let stats = dx100_sampling::replay_window(&run, plan.windows[0], &Default::default());
             assert!(stats.cycles > 0, "{mode:?}");
             // Planning is deterministic in the seed.
             let again = dx100_sampling::plan(&run, 1, "is/test");

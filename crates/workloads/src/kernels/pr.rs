@@ -9,11 +9,11 @@
 use std::sync::Arc;
 
 use dx100_common::{value, AluOp, DType};
-use dx100_sampling::{AccessSink, Resident, SampledRun, SampledStage};
 use dx100_core::isa::Instruction;
 use dx100_core::ArrayHandle;
 use dx100_cpu::{CoreOp, OpStream};
 use dx100_prefetch::IndirectPattern;
+use dx100_sampling::{AccessSink, InstallFn, Resident, SampledRun, SampledStage};
 use dx100_sim::{System, SystemConfig};
 
 use crate::datasets::uniform_graph;
@@ -176,7 +176,9 @@ impl OpStream for EdgeStream {
             4 => CoreOp::alu().with_dep(1),
             5 => {
                 let v = self.col[self.j] as u64;
-                CoreOp::atomic(self.h_next.addr_of(v), S_NEXT).with_dep(1).with_dep(3)
+                CoreOp::atomic(self.h_next.addr_of(v), S_NEXT)
+                    .with_dep(1)
+                    .with_dep(3)
             }
             _ => unreachable!(),
         };
@@ -217,14 +219,14 @@ impl KernelRun for PageRank {
                 for (c, (lo, hi)) in parts.iter().enumerate() {
                     sys.push_stream(
                         c,
-                        Box::new(ContribStream {
+                        ContribStream {
                             h_rank,
                             h_deg,
                             h_contrib,
                             u: *lo,
                             hi: *hi,
                             step: 0,
-                        }),
+                        },
                     );
                 }
             }));
@@ -257,7 +259,7 @@ impl KernelRun for PageRank {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(EdgeStream {
+                            EdgeStream {
                                 src: src.clone(),
                                 col: col.clone(),
                                 h_src,
@@ -267,7 +269,7 @@ impl KernelRun for PageRank {
                                 j: *lo,
                                 hi: *hi,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 }));
@@ -344,22 +346,21 @@ impl KernelRun for PageRank {
             s.alu(1);
             s.stream(h_contrib.addr_of(u as u64));
         });
-        let contrib_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> =
-            Arc::new(move |sys: &mut System, lo, hi| {
-                for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
-                    sys.push_stream(
-                        c,
-                        Box::new(ContribStream {
-                            h_rank,
-                            h_deg,
-                            h_contrib,
-                            u: lo + plo,
-                            hi: lo + phi,
-                            step: 0,
-                        }),
-                    );
-                }
-            });
+        let contrib_install: InstallFn = Arc::new(move |sys: &mut System, lo, hi| {
+            for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
+                sys.push_stream(
+                    c,
+                    ContribStream {
+                        h_rank,
+                        h_deg,
+                        h_contrib,
+                        u: lo + plo,
+                        hi: lo + phi,
+                        step: 0,
+                    },
+                );
+            }
+        });
 
         let (asrc, acol) = (d.src.clone(), d.col.clone());
         let scatter_access = Box::new(move |j: usize, s: &mut AccessSink| {
@@ -370,14 +371,14 @@ impl KernelRun for PageRank {
             s.alu(1);
             s.indirect(h_next.addr_of(acol[j] as u64));
         });
-        let scatter_install: Arc<dyn Fn(&mut System, usize, usize) + Send + Sync> = match mode {
+        let scatter_install: InstallFn = match mode {
             Mode::Baseline | Mode::Dmp => {
                 let (src, col) = (d.src.clone(), d.col.clone());
                 Arc::new(move |sys: &mut System, lo, hi| {
                     for (c, (plo, phi)) in chunks(hi - lo, cores).iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(EdgeStream {
+                            EdgeStream {
                                 src: src.clone(),
                                 col: col.clone(),
                                 h_src,
@@ -387,7 +388,7 @@ impl KernelRun for PageRank {
                                 j: lo + plo,
                                 hi: lo + phi,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 })
@@ -507,7 +508,9 @@ mod tests {
     #[test]
     fn sampled_windows_replay_from_checkpoint() {
         let k = PageRank::new(Scale(1.0 / 64.0));
-        let run = k.prepare_sampled(Mode::Dx100, &SystemConfig::paper_dx100(), 11).unwrap();
+        let run = k
+            .prepare_sampled(Mode::Dx100, &SystemConfig::paper_dx100(), 11)
+            .unwrap();
         assert_eq!(run.stages.len(), 2);
         let plan = dx100_sampling::plan(&run, 1, "pr/test");
         assert!(!plan.windows.is_empty());

@@ -233,14 +233,14 @@ impl KernelRun for RadixJoinHistogram {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(HistStream {
+                            HistStream {
                                 keys: keys.clone(),
                                 h_key,
                                 h_hist,
                                 i: *lo,
                                 hi: *hi,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 }));
@@ -253,7 +253,7 @@ impl KernelRun for RadixJoinHistogram {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(PartitionStream {
+                            PartitionStream {
                                 keys: keys.clone(),
                                 dest: dest.clone(),
                                 h_key,
@@ -262,7 +262,7 @@ impl KernelRun for RadixJoinHistogram {
                                 i: *lo,
                                 hi: *hi,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 }));
@@ -328,7 +328,13 @@ impl KernelRun for RadixJoinHistogram {
                                         rs: r[5],
                                         tc: None,
                                     },
-                                    Instruction::irmw(DType::U32, AluOp::Add, h_hist.base(), g[2], g[3]),
+                                    Instruction::irmw(
+                                        DType::U32,
+                                        AluOp::Add,
+                                        h_hist.base(),
+                                        g[2],
+                                        g[3],
+                                    ),
                                 ],
                                 post_ops: vec![],
                             }

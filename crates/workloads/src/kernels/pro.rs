@@ -20,7 +20,9 @@ use dx100_sim::{System, SystemConfig};
 
 use crate::datasets::rng;
 use crate::kernels::is::split_tiles;
-use crate::util::{checksum, chunks, core_regs, install_jobs, set8_core, tile_set8, Phase, PhasedDriver, TileJob};
+use crate::util::{
+    checksum, chunks, core_regs, install_jobs, set8_core, tile_set8, Phase, PhasedDriver, TileJob,
+};
 use crate::{KernelRun, Mode, Scale, WorkloadResult};
 use rand::Rng;
 
@@ -275,7 +277,7 @@ impl KernelRun for RadixJoinChaining {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(ProbeStream {
+                            ProbeStream {
                                 probes: data.0.clone(),
                                 node_keys: data.1.clone(),
                                 next: data.2.clone(),
@@ -290,7 +292,7 @@ impl KernelRun for RadixJoinChaining {
                                 i: *lo,
                                 hi: *hi,
                                 pending: Default::default(),
-                            }),
+                            },
                         );
                     }
                 }));
@@ -312,7 +314,14 @@ impl KernelRun for RadixJoinChaining {
                             // g0 probes, g1 iota, cur: g2↔g3, active: g4↔g5,
                             // scratch: g6 (node keys / lt), g7 (eq).
                             let mut instrs = vec![
-                                Instruction::sld(DType::U32, h_probe.base(), g[0], r[0], r[1], r[2]),
+                                Instruction::sld(
+                                    DType::U32,
+                                    h_probe.base(),
+                                    g[0],
+                                    r[0],
+                                    r[1],
+                                    r[2],
+                                ),
                                 Instruction::sld(DType::U32, h_iota.base(), g[1], r[0], r[1], r[2]),
                                 // bucket = probe & mask
                                 Instruction::Alus {
@@ -336,8 +345,16 @@ impl KernelRun for RadixJoinChaining {
                                 },
                             ];
                             for round in 0..ROUNDS {
-                                let (cur, curn) = if round % 2 == 0 { (g[2], g[3]) } else { (g[3], g[2]) };
-                                let (act, actn) = if round % 2 == 0 { (g[4], g[5]) } else { (g[5], g[4]) };
+                                let (cur, curn) = if round % 2 == 0 {
+                                    (g[2], g[3])
+                                } else {
+                                    (g[3], g[2])
+                                };
+                                let (act, actn) = if round % 2 == 0 {
+                                    (g[4], g[5])
+                                } else {
+                                    (g[5], g[4])
+                                };
                                 instrs.extend([
                                     // node keys for active lanes (0 elsewhere)
                                     Instruction::ild(DType::U32, h_nkey.base(), g[6], cur)

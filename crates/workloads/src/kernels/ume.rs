@@ -151,11 +151,19 @@ impl Ume {
         }
         let n_corner = *h_off.last().unwrap() as usize;
         let n_point = self.n;
-        let c_map = ume_index_map(n_corner.max(1), (n_point as f64 * self.distance_frac) as usize, seed ^ 1)
-            .into_iter()
-            .map(|v| v % n_point as u32)
-            .collect::<Vec<_>>();
-        let b_map = ume_index_map(n_point, (n_point as f64 * self.distance_frac) as usize, seed ^ 2);
+        let c_map = ume_index_map(
+            n_corner.max(1),
+            (n_point as f64 * self.distance_frac) as usize,
+            seed ^ 1,
+        )
+        .into_iter()
+        .map(|v| v % n_point as u32)
+        .collect::<Vec<_>>();
+        let b_map = ume_index_map(
+            n_point,
+            (n_point as f64 * self.distance_frac) as usize,
+            seed ^ 2,
+        );
         let mask: Vec<u32> = (0..n_corner).map(|_| r.gen_range(0..100u32)).collect();
         let a: Vec<f64> = (0..n_point).map(|i| (i % 17) as f64 * 0.75).collect();
         // Shuffled outer order (frontier-like).
@@ -240,7 +248,9 @@ impl OpStream for DirectStream {
                 4 if taken => CoreOp::load(self.h_val.addr_of(self.i as u64), S_VAL),
                 5 if taken => {
                     let t = self.d_map[self.i] as u64;
-                    CoreOp::atomic(self.h_grad.addr_of(t), S_GRAD).with_dep(1).with_dep(3)
+                    CoreOp::atomic(self.h_grad.addr_of(t), S_GRAD)
+                        .with_dep(1)
+                        .with_dep(3)
                 }
                 _ => {
                     // Untaken iteration: only the condition work.
@@ -388,7 +398,7 @@ impl Ume {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(DirectStream {
+                            DirectStream {
                                 d_map: map.clone(),
                                 d_mask: mask.clone(),
                                 h_map,
@@ -398,7 +408,7 @@ impl Ume {
                                 i: *lo,
                                 hi: *hi,
                                 step: 0,
-                            }),
+                            },
                         );
                     }
                 }));
@@ -426,7 +436,14 @@ impl Ume {
                                     (r[3], F_THRESHOLD),
                                 ],
                                 instrs: vec![
-                                    Instruction::sld(DType::U32, h_mask.base(), g[0], r[0], r[1], r[2]),
+                                    Instruction::sld(
+                                        DType::U32,
+                                        h_mask.base(),
+                                        g[0],
+                                        r[0],
+                                        r[1],
+                                        r[2],
+                                    ),
                                     // cond = mask >= F
                                     Instruction::Alus {
                                         dtype: DType::U32,
@@ -436,7 +453,14 @@ impl Ume {
                                         rs: r[3],
                                         tc: None,
                                     },
-                                    Instruction::sld(DType::U32, h_map.base(), g[2], r[0], r[1], r[2]),
+                                    Instruction::sld(
+                                        DType::U32,
+                                        h_map.base(),
+                                        g[2],
+                                        r[0],
+                                        r[1],
+                                        r[2],
+                                    ),
                                     Instruction::Sld {
                                         dtype: DType::F64,
                                         base: h_val.base(),
@@ -446,8 +470,14 @@ impl Ume {
                                         rs3: r[2],
                                         tc: None,
                                     },
-                                    Instruction::irmw(DType::F64, AluOp::Add, h_grad.base(), g[2], g[3])
-                                        .with_condition(g[1]),
+                                    Instruction::irmw(
+                                        DType::F64,
+                                        AluOp::Add,
+                                        h_grad.base(),
+                                        g[2],
+                                        g[3],
+                                    )
+                                    .with_condition(g[1]),
                                 ],
                                 post_ops: vec![],
                             }
@@ -518,7 +548,7 @@ impl Ume {
                     for (c, (lo, hi)) in parts.iter().enumerate() {
                         sys.push_stream(
                             c,
-                            Box::new(IndirectStream {
+                            IndirectStream {
                                 d: data.0.clone(),
                                 c_map: data.1.clone(),
                                 b_map: data.2.clone(),
@@ -534,7 +564,7 @@ impl Ume {
                                 hi: *hi,
                                 step: 0,
                                 last_outer: u32::MAX,
-                            }),
+                            },
                         );
                     }
                 }));

@@ -13,7 +13,9 @@ use dx100_sim::{System, SystemConfig};
 
 use crate::datasets::xrage_pattern;
 use crate::kernels::is::split_tiles;
-use crate::util::{checksum, chunks, core_regs, install_jobs, tile_set4, Phase, PhasedDriver, TileJob};
+use crate::util::{
+    checksum, chunks, core_regs, install_jobs, tile_set4, Phase, PhasedDriver, TileJob,
+};
 use crate::{KernelRun, Mode, Scale, WorkloadResult};
 
 const S_PAT: u32 = 1;
@@ -141,15 +143,14 @@ impl KernelRun for Xrage {
                     ));
                 }
                 let parts = chunks(n, cores);
-                let (pattern, h_pat, h_val, h_out) =
-                    (d.pattern.clone(), d.h_pat, d.h_val, d.h_out);
+                let (pattern, h_pat, h_val, h_out) = (d.pattern.clone(), d.h_pat, d.h_val, d.h_out);
                 vec![
                     Phase::RoiBegin,
                     Phase::setup(move |sys| {
                         for (c, (lo, hi)) in parts.iter().enumerate() {
                             sys.push_stream(
                                 c,
-                                Box::new(ScatterStream {
+                                ScatterStream {
                                     pattern: pattern.clone(),
                                     h_pat,
                                     h_val,
@@ -157,7 +158,7 @@ impl KernelRun for Xrage {
                                     i: *lo,
                                     hi: *hi,
                                     step: 0,
-                                }),
+                                },
                             );
                         }
                     }),
@@ -189,8 +190,22 @@ impl KernelRun for Xrage {
                                         (r[2], (hi - lo) as u64),
                                     ],
                                     instrs: vec![
-                                        Instruction::sld(DType::U32, h_pat.base(), g[0], r[0], r[1], r[2]),
-                                        Instruction::sld(DType::U32, h_val.base(), g[1], r[0], r[1], r[2]),
+                                        Instruction::sld(
+                                            DType::U32,
+                                            h_pat.base(),
+                                            g[0],
+                                            r[0],
+                                            r[1],
+                                            r[2],
+                                        ),
+                                        Instruction::sld(
+                                            DType::U32,
+                                            h_val.base(),
+                                            g[1],
+                                            r[0],
+                                            r[1],
+                                            r[2],
+                                        ),
                                         Instruction::ist(DType::U32, h_out.base(), g[0], g[1]),
                                     ],
                                     post_ops: vec![],

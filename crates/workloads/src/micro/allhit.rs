@@ -133,7 +133,11 @@ fn baseline_pass(kind: MicroKind, ar: &Arrays, lo: usize, hi: usize) -> Vec<Core
                 ops.push(CoreOp::load(ar.b.addr_of(i64v), S_B));
                 ops.push(CoreOp::alu().with_dep(1));
                 ops.push(CoreOp::load(ar.c.addr_of(i64v), S_C));
-                ops.push(CoreOp::atomic(ar.a.addr_of(i64v), S_A).with_dep(1).with_dep(3));
+                ops.push(
+                    CoreOp::atomic(ar.a.addr_of(i64v), S_A)
+                        .with_dep(1)
+                        .with_dep(3),
+                );
             }
             MicroKind::RmwNoAtom => {
                 ops.push(CoreOp::load(ar.b.addr_of(i64v), S_B));
@@ -296,7 +300,10 @@ mod tests {
         let no = run_allhit(MicroKind::RmwNoAtom, false, &cfg, 1);
         let ratio = at.cycles as f64 / no.cycles as f64;
         // Paper: ~4.8×. Anywhere in 2–12× preserves the phenomenon.
-        assert!((2.0..12.0).contains(&ratio), "atomic/noatom ratio {ratio:.2}");
+        assert!(
+            (2.0..12.0).contains(&ratio),
+            "atomic/noatom ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -39,13 +39,48 @@ impl Scenario {
     /// The seven bars of Figure 8b, worst (left) to best (right).
     pub fn sweep() -> Vec<(String, Scenario)> {
         let mut v = Vec::new();
-        v.push(("rbh0-nochi-nobgi".into(), Scenario { rbh: 0.0, chi: false, bgi: false }));
-        v.push(("rbh0".into(), Scenario { rbh: 0.0, chi: true, bgi: true }));
+        v.push((
+            "rbh0-nochi-nobgi".into(),
+            Scenario {
+                rbh: 0.0,
+                chi: false,
+                bgi: false,
+            },
+        ));
+        v.push((
+            "rbh0".into(),
+            Scenario {
+                rbh: 0.0,
+                chi: true,
+                bgi: true,
+            },
+        ));
         for rbh in [0.25, 0.5, 0.75] {
-            v.push((format!("rbh{}", (rbh * 100.0) as u32), Scenario { rbh, chi: true, bgi: true }));
+            v.push((
+                format!("rbh{}", (rbh * 100.0) as u32),
+                Scenario {
+                    rbh,
+                    chi: true,
+                    bgi: true,
+                },
+            ));
         }
-        v.push(("rbh100-nobgi".into(), Scenario { rbh: 1.0, chi: true, bgi: false }));
-        v.push(("rbh100".into(), Scenario { rbh: 1.0, chi: true, bgi: true }));
+        v.push((
+            "rbh100-nobgi".into(),
+            Scenario {
+                rbh: 1.0,
+                chi: true,
+                bgi: false,
+            },
+        ));
+        v.push((
+            "rbh100".into(),
+            Scenario {
+                rbh: 1.0,
+                chi: true,
+                bgi: true,
+            },
+        ));
         v
     }
 }
@@ -243,7 +278,11 @@ mod tests {
 
     #[test]
     fn indices_are_unique_and_cover_all_lines() {
-        let s = Scenario { rbh: 0.5, chi: true, bgi: true };
+        let s = Scenario {
+            rbh: 0.5,
+            chi: true,
+            bgi: true,
+        };
         let idx = build_indices(s, LineAddr(1000), &cfg().dram);
         let mut seen: Vec<u32> = idx.clone();
         seen.sort_unstable();
@@ -255,7 +294,11 @@ mod tests {
     #[test]
     fn rbh100_order_groups_rows() {
         let dram = cfg().dram;
-        let s = Scenario { rbh: 1.0, chi: true, bgi: true };
+        let s = Scenario {
+            rbh: 1.0,
+            chi: true,
+            bgi: true,
+        };
         let base = LineAddr(0);
         let idx = build_indices(s, base, &dram);
         // Per bank, count row switches: with rbh=1 each bank's rows appear
@@ -274,23 +317,26 @@ mod tests {
             }
             last_row.insert(bidx, c.row);
         }
-        assert!(switches.iter().all(|&s| s == 15), "row runs must be whole: {switches:?}");
+        assert!(
+            switches.iter().all(|&s| s == 15),
+            "row runs must be whole: {switches:?}"
+        );
     }
 
     #[test]
     fn chi_alternates_channels() {
         let dram = cfg().dram;
-        let s = Scenario { rbh: 1.0, chi: true, bgi: true };
+        let s = Scenario {
+            rbh: 1.0,
+            chi: true,
+            bgi: true,
+        };
         let idx = build_indices(s, LineAddr(0), &dram);
         let org = &dram.organization;
         let alternations = idx
             .windows(2)
             .filter(|w| {
-                let ch = |e: u32| {
-                    dram.addr_map
-                        .decode(LineAddr(e as u64 / 16), org)
-                        .channel
-                };
+                let ch = |e: u32| dram.addr_map.decode(LineAddr(e as u64 / 16), org).channel;
                 ch(w[0]) != ch(w[1])
             })
             .count();
@@ -300,16 +346,16 @@ mod tests {
             idx.len()
         );
         // And the no-CHI order keeps channel constant almost everywhere.
-        let s2 = Scenario { rbh: 1.0, chi: false, bgi: false };
+        let s2 = Scenario {
+            rbh: 1.0,
+            chi: false,
+            bgi: false,
+        };
         let idx2 = build_indices(s2, LineAddr(0), &dram);
         let alternations2 = idx2
             .windows(2)
             .filter(|w| {
-                let ch = |e: u32| {
-                    dram.addr_map
-                        .decode(LineAddr(e as u64 / 16), org)
-                        .channel
-                };
+                let ch = |e: u32| dram.addr_map.decode(LineAddr(e as u64 / 16), org).channel;
                 ch(w[0]) != ch(w[1])
             })
             .count();

@@ -29,7 +29,9 @@ fn main() {
     ));
 
     // Detection (Figure 7c's DFS).
-    let Stmt::For(l) = &p.body[0] else { unreachable!() };
+    let Stmt::For(l) = &p.body[0] else {
+        unreachable!()
+    };
     for acc in detect(l) {
         println!(
             "detected indirect {:?} of array {} at depth {}",
@@ -40,7 +42,10 @@ fn main() {
     // Full pipeline (tile = 8 → Figure 7b's tiling).
     let compiled = compile_loop(&p, 8).expect("legal loop");
     println!("\ntiles: {:?}", compiled.tiles);
-    println!("hoisted packed loads: {}", compiled.transformed.prologue.len());
+    println!(
+        "hoisted packed loads: {}",
+        compiled.transformed.prologue.len()
+    );
     println!("lowered DX100 calls per tile:");
     for call in &compiled.calls {
         println!("  {call:?}");
@@ -59,5 +64,8 @@ fn main() {
     reference.run(&p);
     run_offloaded(&compiled, &mut offloaded);
     assert_eq!(reference.arrays[c], offloaded.arrays[c]);
-    println!("\noffloaded execution matches the interpreter: C[0..8] = {:?}", &offloaded.arrays[c][..8]);
+    println!(
+        "\noffloaded execution matches the interpreter: C[0..8] = {:?}",
+        &offloaded.arrays[c][..8]
+    );
 }

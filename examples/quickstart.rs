@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         &mut mem,
     )?;
-    println!("A[42] after conditional RMW = {} (was 142)", mem.read_elem(a, 42));
+    println!(
+        "A[42] after conditional RMW = {} (was 142)",
+        mem.read_elem(a, 42)
+    );
     println!("A[3]  untouched (B-index 3 < 10) = {}", mem.read_elem(a, 3));
 
     println!(

@@ -28,7 +28,10 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
         Just(Shape::Gather),
         Just(Shape::Gather2),
         Just(Shape::Scatter),
-        (0i64..8, prop_oneof![Just(RmwOp::Add), Just(RmwOp::Min), Just(RmwOp::Max)])
+        (
+            0i64..8,
+            prop_oneof![Just(RmwOp::Add), Just(RmwOp::Min), Just(RmwOp::Max)]
+        )
             .prop_map(|(k, op)| Shape::CondRmw { k, op }),
         (prop_oneof![Just(7i64), Just(15), Just(31)]).prop_map(|mask| Shape::Histogram { mask }),
     ]

@@ -9,7 +9,7 @@
 //! two substrate schedulers ([`DelayQueue`] and the DRAM channel
 //! controller) that the skip decision is built on.
 
-use dx100::common::{DelayQueue, DType, LineAddr};
+use dx100::common::{DType, DelayQueue, LineAddr};
 use dx100::cpu::CoreOp;
 use dx100::dram::{DramConfig, DramSystem, MemRequest};
 use dx100::sim::driver::NullDriver;
@@ -69,7 +69,12 @@ fn skip_on_off_bit_identical_dmp() {
         }
         let on = kernel.run(Mode::Dmp, &cfg_for(Mode::Dmp, true), SEED);
         let off = kernel.run(Mode::Dmp, &cfg_for(Mode::Dmp, false), SEED);
-        assert_eq!(on.checksum, off.checksum, "checksum diverged: {}", kernel.name());
+        assert_eq!(
+            on.checksum,
+            off.checksum,
+            "checksum diverged: {}",
+            kernel.name()
+        );
         assert_eq!(
             format!("{:?}", on.stats),
             format!("{:?}", off.stats),
@@ -87,7 +92,9 @@ fn sparse_chase() -> (MemoryImage, Vec<CoreOp>) {
     let mut ops = Vec::new();
     let mut x = 0x9e3779b97f4a7c15u64;
     for i in 0..64u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (x >> 33) % (1 << 20);
         let load = CoreOp::load(a.addr_of(idx), 1);
         ops.push(if i == 0 { load } else { load.with_dep(1) });
@@ -111,8 +118,14 @@ fn skip_engages_on_idle_heavy_run() {
     };
     let (cycles_on, (skipped, skip_events)) = run(true);
     let (cycles_off, (skipped_off, _)) = run(false);
-    assert_eq!(cycles_on, cycles_off, "skipping changed the final cycle count");
-    assert_eq!(skipped_off, 0, "skip telemetry must stay zero with skipping off");
+    assert_eq!(
+        cycles_on, cycles_off,
+        "skipping changed the final cycle count"
+    );
+    assert_eq!(
+        skipped_off, 0,
+        "skip telemetry must stay zero with skipping off"
+    );
     assert!(
         skipped > cycles_on / 2,
         "a serial miss chain should skip most cycles: {skipped} of {cycles_on}"

@@ -206,7 +206,9 @@ fn refresh_happens_and_is_bounded() {
     let horizon = cfg.timings.t_refi * 4;
     while now < horizon {
         // Keep a trickle of traffic so banks open and close.
-        if now.is_multiple_of(64) && dram.try_enqueue(MemRequest::read(id, LineAddr(id % 2048)), now) {
+        if now.is_multiple_of(64)
+            && dram.try_enqueue(MemRequest::read(id, LineAddr(id % 2048)), now)
+        {
             id += 1;
         }
         dram.tick(now);

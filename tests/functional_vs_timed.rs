@@ -31,7 +31,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         Just(Op::Gather),
         any::<bool>().prop_map(|cond| Op::Scatter { cond }),
-        (prop_oneof![Just(AluOp::Add), Just(AluOp::Min), Just(AluOp::Max), Just(AluOp::Xor)], any::<bool>())
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Min),
+                Just(AluOp::Max),
+                Just(AluOp::Xor)
+            ],
+            any::<bool>()
+        )
             .prop_map(|(op, cond)| Op::Rmw { op, cond }),
         (1u64..7).prop_map(|imm| Op::AluThenGather { imm }),
     ]

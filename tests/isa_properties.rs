@@ -34,32 +34,84 @@ fn base() -> impl Strategy<Value = u64> {
 fn instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (dtype(), base(), tile(), tile(), cond()).prop_map(|(dtype, base, td, ts1, tc)| {
-            Instruction::Ild { dtype, base, td, ts1, tc }
+            Instruction::Ild {
+                dtype,
+                base,
+                td,
+                ts1,
+                tc,
+            }
         }),
         (dtype(), base(), tile(), tile(), cond()).prop_map(|(dtype, base, ts1, ts2, tc)| {
-            Instruction::Ist { dtype, base, ts1, ts2, tc }
+            Instruction::Ist {
+                dtype,
+                base,
+                ts1,
+                ts2,
+                tc,
+            }
         }),
         (dtype(), aluop(), base(), tile(), tile(), cond()).prop_map(
-            |(dtype, op, base, ts1, ts2, tc)| Instruction::Irmw { dtype, op, base, ts1, ts2, tc }
+            |(dtype, op, base, ts1, ts2, tc)| Instruction::Irmw {
+                dtype,
+                op,
+                base,
+                ts1,
+                ts2,
+                tc
+            }
         ),
         (dtype(), base(), tile(), reg(), reg(), reg(), cond()).prop_map(
             |(dtype, base, td, rs1, rs2, rs3, tc)| Instruction::Sld {
-                dtype, base, td, rs1, rs2, rs3, tc
+                dtype,
+                base,
+                td,
+                rs1,
+                rs2,
+                rs3,
+                tc
             }
         ),
         (dtype(), base(), tile(), reg(), reg(), reg(), cond()).prop_map(
             |(dtype, base, ts, rs1, rs2, rs3, tc)| Instruction::Sst {
-                dtype, base, ts, rs1, rs2, rs3, tc
+                dtype,
+                base,
+                ts,
+                rs1,
+                rs2,
+                rs3,
+                tc
             }
         ),
         (dtype(), aluop(), tile(), tile(), tile(), cond()).prop_map(
-            |(dtype, op, td, ts1, ts2, tc)| Instruction::Aluv { dtype, op, td, ts1, ts2, tc }
+            |(dtype, op, td, ts1, ts2, tc)| Instruction::Aluv {
+                dtype,
+                op,
+                td,
+                ts1,
+                ts2,
+                tc
+            }
         ),
         (dtype(), aluop(), tile(), tile(), reg(), cond()).prop_map(
-            |(dtype, op, td, ts, rs, tc)| Instruction::Alus { dtype, op, td, ts, rs, tc }
+            |(dtype, op, td, ts, rs, tc)| Instruction::Alus {
+                dtype,
+                op,
+                td,
+                ts,
+                rs,
+                tc
+            }
         ),
         (tile(), tile(), tile(), tile(), reg(), cond()).prop_map(
-            |(td1, td2, ts1, ts2, rs1, tc)| Instruction::Rng { td1, td2, ts1, ts2, rs1, tc }
+            |(td1, td2, ts1, ts2, rs1, tc)| Instruction::Rng {
+                td1,
+                td2,
+                ts1,
+                ts2,
+                rs1,
+                tc
+            }
         ),
     ]
 }

@@ -65,12 +65,24 @@ fn queued_instruction_ignores_younger_reg_write() {
     sys.send_reg_write(0, r0, 5); // start = 5
     sys.send_reg_write(0, r1, 1); // stride = 1
     sys.send_reg_write(0, r2, 8); // count = 8
-    // Three gathers to distinct regions: each first touch stalls the
-    // delivery head for the region-acquisition latency, so the SLD below
-    // sits queued long after the clobbering register write lands.
-    sys.send_instruction(0, Instruction::ild(DType::U32, a.base(), t_dst, t_idx), None);
-    sys.send_instruction(0, Instruction::ild(DType::U32, b.base(), t_dst, t_idx), None);
-    sys.send_instruction(0, Instruction::ild(DType::U32, c.base(), t_dst, t_idx), None);
+                                  // Three gathers to distinct regions: each first touch stalls the
+                                  // delivery head for the region-acquisition latency, so the SLD below
+                                  // sits queued long after the clobbering register write lands.
+    sys.send_instruction(
+        0,
+        Instruction::ild(DType::U32, a.base(), t_dst, t_idx),
+        None,
+    );
+    sys.send_instruction(
+        0,
+        Instruction::ild(DType::U32, b.base(), t_dst, t_idx),
+        None,
+    );
+    sys.send_instruction(
+        0,
+        Instruction::ild(DType::U32, c.base(), t_dst, t_idx),
+        None,
+    );
     sys.send_instruction(
         0,
         Instruction::sld(DType::U32, a.base(), t_sld, r0, r1, r2),

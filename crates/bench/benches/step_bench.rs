@@ -9,6 +9,10 @@
 //!   `try_skip` probe runs (and usually fails) every cycle, so this
 //!   measures the optimisation's overhead ceiling (target: ≤5% slower).
 //!
+//! Each shape also runs with the cycle-attribution profiler on and off
+//! (`profile_on`/`profile_off`), measuring the per-tick cost of the
+//! attribution counters (target: ≤5% on traffic-heavy).
+//!
 //! Run with `cargo bench -p dx100-bench --features bench-harness --bench
 //! step_bench`. Results are recorded in DESIGN.md ("Simulation
 //! performance").
@@ -40,10 +44,11 @@ fn sparse_chase(loads: u64) -> (MemoryImage, Vec<CoreOp>) {
     (image, ops)
 }
 
-fn run_chase(skip: bool, loads: u64) -> u64 {
+fn run_chase(skip: bool, profile: bool, loads: u64) -> u64 {
     let (image, ops) = sparse_chase(loads);
     let mut cfg = SystemConfig::paper_baseline();
     cfg.cycle_skip = skip;
+    cfg.obs.profile = profile;
     let mut sys = System::new(cfg, image);
     sys.push_ops(0, ops);
     sys.run(&mut NullDriver).cycles
@@ -53,7 +58,10 @@ fn bench_idle_heavy(c: &mut Criterion) {
     let mut g = c.benchmark_group("step_idle_heavy");
     g.sample_size(10);
     for (name, skip) in [("skip_on", true), ("skip_off", false)] {
-        g.bench_function(name, |b| b.iter(|| run_chase(skip, 256)));
+        g.bench_function(name, |b| b.iter(|| run_chase(skip, false, 256)));
+    }
+    for (name, profile) in [("profile_on", true), ("profile_off", false)] {
+        g.bench_function(name, |b| b.iter(|| run_chase(true, profile, 256)));
     }
     g.finish();
 }
@@ -66,6 +74,15 @@ fn bench_traffic_heavy(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = SystemConfig::paper_dx100();
                 cfg.cycle_skip = skip;
+                run_allhit(MicroKind::GatherFull, true, &cfg, 1).cycles
+            })
+        });
+    }
+    for (name, profile) in [("profile_on", true), ("profile_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::paper_dx100();
+                cfg.obs.profile = profile;
                 run_allhit(MicroKind::GatherFull, true, &cfg, 1).cycles
             })
         });

@@ -16,7 +16,7 @@ fn variant(name: &str, f: impl Fn(&mut dx100_core::Dx100Config)) -> (String, Sys
 
 fn main() {
     let args = dx100_bench::BenchArgs::parse();
-    args.warn_unsupported("ablation", false);
+    args.warn_unsupported("ablation", false, true);
     let scale = args.scale;
     let variants = vec![
         variant("full", |_| {}),
@@ -39,7 +39,8 @@ fn main() {
         "{:<14} {:>12} {:>8} {:>12} {:>12}",
         "variant", "allmiss-cyc", "bw%", "is-cyc", "gzz-cyc"
     );
-    for (name, cfg) in variants {
+    for (name, mut cfg) in variants {
+        cfg.obs.profile = args.profile;
         let am = run_allmiss(worst, true, &cfg);
         let mut cols = vec![
             format!("{:>12}", am.cycles),
@@ -48,6 +49,7 @@ fn main() {
         for k in &kernels {
             eprintln!("{name}: {}", k.name());
             let r = k.run(Mode::Dx100, &cfg, args.seed);
+            args.print_run_profile(&format!("{name}: {}", k.name()), &r);
             cols.push(format!("{:>12}", r.stats.cycles));
         }
         println!("{:<14} {}", name, cols.join(" "));

@@ -6,7 +6,7 @@ use dx100_common::json::{obj, Json};
 
 fn main() {
     let args = BenchArgs::parse();
-    args.warn_unsupported("fig08a", true);
+    args.warn_unsupported("fig08a", true, false);
     println!("Figure 8a — all-hit microbenchmarks (paper: Gather-SPD 1.2x,");
     println!("Gather-Full 3.2x, RMW-Atomic 17.8x, RMW-NoAtom 3.7x, Scatter 6.6x)\n");
     let rows = dx100_workloads::micro::allhit::fig08a(1);

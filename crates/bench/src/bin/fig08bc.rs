@@ -9,7 +9,7 @@ use dx100_workloads::micro::allmiss::{run_allmiss, Scenario};
 
 fn main() {
     let args = BenchArgs::parse();
-    args.warn_unsupported("fig08bc", true);
+    args.warn_unsupported("fig08bc", true, false);
     println!("Figures 8b/8c — all-miss gather vs index order");
     println!("(paper: max 9.9x at worst order; DX100 holds 82-85% BW everywhere)\n");
     println!(

@@ -12,28 +12,34 @@ use dx100_workloads::{all_kernels, Mode, Scale};
 
 fn main() {
     let args = BenchArgs::parse();
-    args.warn_unsupported("fig13", false);
+    args.warn_unsupported("fig13", false, true);
     let scale = args.scale;
     let kernels = all_kernels(Scale(scale));
     println!("Figure 13 â tile-size sweep (paper: 1.7x @1K â 2.9x @32K,");
     println!("            1.4x fewer accesses and +27% RBH at 32K vs 1K)\n");
     // Baselines once per kernel.
+    let mut base_cfg = SystemConfig::paper_baseline();
+    base_cfg.obs.profile = args.profile;
     let baselines: Vec<_> = kernels
         .iter()
         .map(|k| {
             eprintln!("baseline {}", k.name());
-            k.run(Mode::Baseline, &SystemConfig::paper_baseline(), args.seed)
+            let r = k.run(Mode::Baseline, &base_cfg, args.seed);
+            args.print_run_profile(&format!("baseline {}", k.name()), &r);
+            r
         })
         .collect();
     let mut access_ref: Vec<f64> = Vec::new();
     for tile in [1024usize, 2048, 4096, 8192, 16384, 32768] {
-        let cfg = SystemConfig::paper_dx100().with_tile_elems(tile);
+        let mut cfg = SystemConfig::paper_dx100().with_tile_elems(tile);
+        cfg.obs.profile = args.profile;
         let mut speeds = Vec::new();
         let mut accesses = Vec::new();
         let mut rbh = Vec::new();
         for (k, base) in kernels.iter().zip(&baselines) {
             eprintln!("tile {tile} {}", k.name());
             let dx = k.run(Mode::Dx100, &cfg, args.seed);
+            args.print_run_profile(&format!("tile {tile} {}", k.name()), &dx);
             speeds.push(dx.stats.speedup_over(&base.stats));
             if let Some(d) = &dx.stats.dx100 {
                 accesses.push(

@@ -7,7 +7,7 @@ use dx100_workloads::{all_kernels, Mode, Scale};
 
 fn main() {
     let args = BenchArgs::parse();
-    args.warn_unsupported("fig14", false);
+    args.warn_unsupported("fig14", false, true);
     let scale = args.scale;
     println!("Figure 14 — scalability (paper: 2.6x @4c/1x, 2.5x @8c/1x, 2.7x @8c/2x)\n");
     for (label, cores, instances, data_mult) in [
@@ -17,13 +17,17 @@ fn main() {
     ] {
         // The paper doubles the dataset with the core count.
         let kernels = all_kernels(Scale(scale * data_mult));
-        let base_cfg = SystemConfig::scaled(cores, 0);
-        let dx_cfg = SystemConfig::scaled(cores, instances);
+        let mut base_cfg = SystemConfig::scaled(cores, 0);
+        let mut dx_cfg = SystemConfig::scaled(cores, instances);
+        base_cfg.obs.profile = args.profile;
+        dx_cfg.obs.profile = args.profile;
         let mut speeds = Vec::new();
         for k in &kernels {
             eprintln!("{label}: {}", k.name());
             let b = k.run(Mode::Baseline, &base_cfg, args.seed);
             let d = k.run(Mode::Dx100, &dx_cfg, args.seed);
+            args.print_run_profile(&format!("{label}: {} baseline", k.name()), &b);
+            args.print_run_profile(&format!("{label}: {} dx100", k.name()), &d);
             speeds.push(d.stats.speedup_over(&b.stats));
         }
         print_geomean(label, &speeds);

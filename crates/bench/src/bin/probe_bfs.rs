@@ -1,16 +1,24 @@
 //! Debug probe: BFS on the 8-core / 2-instance machine at tiny scale.
+//!
+//! Shares the strict figure-binary flag table: `--scale` replaces the old
+//! positional scale argument (a `--scale` of 1.0 reproduces the old
+//! default probe size), and `--profile` prints the run's cycle attribution.
 
+use dx100_bench::BenchArgs;
 use dx100_sim::SystemConfig;
 use dx100_workloads::{all_kernels, Mode, Scale};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.03125);
-    let kernels = all_kernels(Scale(scale * 2.0));
+    let args = BenchArgs::parse();
+    args.warn_unsupported("probe_bfs", false, true);
+    let kernels = all_kernels(Scale(args.scale * 0.0625));
     let k = kernels.iter().find(|k| k.name() == "bfs").unwrap();
-    let cfg = SystemConfig::scaled(8, 2);
-    let r = k.run(Mode::Dx100, &cfg, 1);
-    println!("bfs 8c/2x ok: {} cycles", r.stats.cycles);
+    let mut cfg = SystemConfig::scaled(8, 2);
+    cfg.obs.profile = args.profile;
+    let r = k.run(Mode::Dx100, &cfg, args.seed);
+    println!(
+        "bfs 8c/2x ok: {} cycles ({} skipped in {} spans)",
+        r.stats.cycles, r.telemetry.skipped_cycles, r.telemetry.skip_events
+    );
+    args.print_run_profile("bfs 8c/2x", &r);
 }

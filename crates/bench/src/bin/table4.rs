@@ -7,7 +7,7 @@ use dx100_core::area::{AreaModel, COMPONENTS};
 
 fn main() {
     let args = BenchArgs::parse();
-    args.warn_unsupported("table4", true);
+    args.warn_unsupported("table4", true, false);
     println!("Table 4 — DX100 area and power at 28 nm\n");
     println!("{:<18} {:>10} {:>10}", "module", "area mm^2", "power mW");
     for c in COMPONENTS {

@@ -26,6 +26,12 @@
 //! * `--trace <path>` — write a Chrome trace (load in Perfetto / `about:tracing`).
 //! * `--epoch <cycles>` — sample epoch time-series metrics every N cycles
 //!   (included in the `--json` report).
+//! * `--profile` — cycle-attribution profiling: every timed component
+//!   classifies each of its cycles (stall taxonomy, utilization,
+//!   occupancy histograms), the per-run JSON gains a versioned `profile`
+//!   section, and a per-kernel bottleneck summary prints after the table.
+//!   Never changes simulated results: `RunStats` are bit-identical with
+//!   the flag on or off.
 //!
 //! Sweep-execution flags (row-based figure binaries):
 //!
@@ -180,6 +186,10 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Sample epoch metrics every N cycles (`--epoch`).
     pub epoch: Option<u64>,
+    /// Cycle-attribution profiling (`--profile`): stall taxonomy +
+    /// utilization counters per component, a `profile` section per run in
+    /// the `--json` report, and a printed bottleneck summary.
+    pub profile: bool,
     /// Run the sampled-simulation pipeline (`--sample`).
     pub sample: bool,
     /// Worker threads for the kernel × machine sweep (`--threads`):
@@ -204,6 +214,7 @@ impl Default for BenchArgs {
             json: None,
             trace: None,
             epoch: None,
+            profile: false,
             sample: false,
             threads: default_threads(),
             seed: 1,
@@ -222,7 +233,7 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--scale <factor>] [--json <path>] [--trace <path>] [--epoch <cycles>] \
-                     [--sample] [--threads <n>] [--seed <n>]"
+                     [--profile] [--sample] [--threads <n>] [--seed <n>]"
                 );
                 std::process::exit(2);
             }
@@ -247,6 +258,7 @@ impl BenchArgs {
                 }
                 "--json" => out.json = Some(PathBuf::from(value("--json")?)),
                 "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+                "--profile" => out.profile = true,
                 "--sample" => out.sample = true,
                 "--threads" => {
                     let v = value("--threads")?;
@@ -282,14 +294,39 @@ impl BenchArgs {
         ObservabilityConfig {
             trace: self.trace.is_some(),
             epoch_cycles: self.epoch,
+            profile: self.profile,
             ..ObservabilityConfig::default()
+        }
+    }
+
+    /// Prints each kernel's bottleneck summary (no-op without `--profile`).
+    /// Call after the figure's table so the report reads top-down.
+    pub fn print_profile(&self, rows: &[KernelRow]) {
+        if !self.profile {
+            return;
+        }
+        print_bottlenecks(rows);
+    }
+
+    /// Prints one run's bottleneck summary under `label` — for figure
+    /// binaries whose sweeps do not produce [`KernelRow`]s. No-op without
+    /// `--profile` or when the run carries no attribution.
+    pub fn print_run_profile(&self, label: &str, w: &WorkloadResult) {
+        if !self.profile {
+            return;
+        }
+        if let Some(p) = w.telemetry.profile.as_ref() {
+            println!("-- {label}");
+            print!("{}", p.bottleneck_summary());
         }
     }
 
     /// Warns when artifact flags were passed to a binary whose output has
     /// no per-kernel run shape to report. `supports_json` suppresses the
-    /// warning for `--json` (the binary writes its own report).
-    pub fn warn_unsupported(&self, generator: &str, supports_json: bool) {
+    /// warning for `--json` (the binary writes its own report);
+    /// `supports_profile` suppresses it for `--profile` (the binary prints
+    /// per-run bottleneck summaries itself).
+    pub fn warn_unsupported(&self, generator: &str, supports_json: bool, supports_profile: bool) {
         if self.json.is_some() && !supports_json {
             eprintln!("note: {generator} does not emit --json reports; flag ignored");
         }
@@ -298,6 +335,9 @@ impl BenchArgs {
         }
         if self.epoch.is_some() {
             eprintln!("note: {generator} does not report --epoch samples; flag ignored");
+        }
+        if self.profile && !supports_profile {
+            eprintln!("note: {generator} does not profile its runs; flag ignored");
         }
     }
 
@@ -357,6 +397,33 @@ pub fn report_json(generator: &str, scale: f64, rows: &[KernelRow]) -> Json {
     ])
 }
 
+/// One run's JSON: [`run_stats_json`] plus the run's telemetry (skip
+/// counters always; the versioned `profile` section when `--profile`
+/// was on, `null` otherwise).
+fn run_json(w: &WorkloadResult) -> Json {
+    let mut j = run_stats_json(&w.stats);
+    if let Json::Obj(fields) = &mut j {
+        fields.push(("telemetry".to_string(), w.telemetry.to_json()));
+    }
+    j
+}
+
+/// Prints the per-run bottleneck summaries for every profiled run.
+pub fn print_bottlenecks(rows: &[KernelRow]) {
+    for r in rows {
+        for (mode, w) in [
+            ("baseline", Some(&r.baseline)),
+            ("dx100", Some(&r.dx100)),
+            ("dmp", r.dmp.as_ref()),
+        ] {
+            if let Some(p) = w.and_then(|w| w.telemetry.profile.as_ref()) {
+                println!("-- {}/{mode}", r.name);
+                print!("{}", p.bottleneck_summary());
+            }
+        }
+    }
+}
+
 fn row_json(r: &KernelRow) -> Json {
     obj([
         ("name", r.name.into()),
@@ -375,12 +442,12 @@ fn row_json(r: &KernelRow) -> Json {
         (
             "runs",
             obj([
-                ("baseline", run_stats_json(&r.baseline.stats)),
-                ("dx100", run_stats_json(&r.dx100.stats)),
+                ("baseline", run_json(&r.baseline)),
+                ("dx100", run_json(&r.dx100)),
                 (
                     "dmp",
                     match &r.dmp {
-                        Some(d) => run_stats_json(&d.stats),
+                        Some(d) => run_json(d),
                         None => Json::Null,
                     },
                 ),
@@ -401,6 +468,14 @@ pub fn trace_json(rows: &[KernelRow]) -> String {
         ] {
             if let Some(buf) = result.and_then(|w| w.stats.trace.as_ref()) {
                 runs.push((format!("{}/{mode}", r.name), buf));
+            }
+            // Profile counter curves live outside `RunStats.trace` (so the
+            // trace stays byte-identical with `--profile` on or off); merge
+            // them into the viewer file as their own process.
+            if let Some(buf) = result.and_then(|w| w.telemetry.counters.as_ref()) {
+                if !buf.is_empty() {
+                    runs.push((format!("{}/{mode}/profile", r.name), buf));
+                }
             }
         }
     }
@@ -472,6 +547,7 @@ mod tests {
             "t.json",
             "--epoch",
             "5000",
+            "--profile",
             "--sample",
             "--threads",
             "4",
@@ -483,12 +559,14 @@ mod tests {
         assert_eq!(args.json.as_deref(), Some(Path::new("r.json")));
         assert_eq!(args.trace.as_deref(), Some(Path::new("t.json")));
         assert_eq!(args.epoch, Some(5000));
+        assert!(args.profile);
         assert!(args.sample);
         assert_eq!(args.threads, 4);
         assert_eq!(args.seed, 7);
         let obs = args.observability();
         assert!(obs.trace);
         assert_eq!(obs.epoch_cycles, Some(5000));
+        assert!(obs.profile);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct WalltimeEntry {
     pub seconds: f64,
     /// Windows simulated, when this run used interval sampling.
     pub windows: Option<usize>,
+    /// Cycles elided by event-driven skipping (0 for windowed sampled
+    /// runs, whose stats are extrapolated rather than simulated end-to-end).
+    pub skipped_cycles: u64,
+    /// Quiescent spans entered by the skip layer.
+    pub skip_events: u64,
 }
 
 /// Per kernel × machine sampling metadata for the report.
@@ -71,6 +76,12 @@ pub fn run_figure(args: &BenchArgs, with_dmp: bool) -> FigureRun {
     if args.sample {
         if args.trace.is_some() || args.epoch.is_some() {
             eprintln!("note: --trace/--epoch are ignored under --sample");
+        }
+        if args.profile {
+            eprintln!(
+                "note: --profile only covers full-fidelity runs; windowed sampled \
+                 runs extrapolate stats and carry no attribution"
+            );
         }
         run_sampled(args.scale, with_dmp, args.seed, args.threads)
     } else {
@@ -139,6 +150,8 @@ pub(crate) fn run_matrix(
                 config: mode.label(),
                 seconds: secs,
                 windows: None,
+                skipped_cycles: r.telemetry.skipped_cycles,
+                skip_events: r.telemetry.skip_events,
             });
             r
         };
@@ -295,6 +308,8 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                     config: p.mode.label(),
                     seconds: secs,
                     windows: Some(rec.windows),
+                    skipped_cycles: 0,
+                    skip_events: 0,
                 });
                 infos.push(SampleInfo {
                     kernel: name,
@@ -306,6 +321,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                 WorkloadResult {
                     stats: rec.stats,
                     checksum: run.checksum,
+                    telemetry: Default::default(),
                 }
             }
             None => {
@@ -319,6 +335,8 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                     config: p.mode.label(),
                     seconds: secs,
                     windows: None,
+                    skipped_cycles: r.telemetry.skipped_cycles,
+                    skip_events: r.telemetry.skip_events,
                 });
                 r
             }
@@ -425,6 +443,8 @@ impl FigureRun {
                                         None => Json::Null,
                                     },
                                 ),
+                                ("skipped_cycles", e.skipped_cycles.into()),
+                                ("skip_events", e.skip_events.into()),
                             ])
                         })
                         .collect(),
@@ -450,7 +470,9 @@ impl FigureRun {
 
     /// Writes the figure's artifacts: the `--json` report and `--trace`
     /// file when requested, and `<generator>_sim_walltime.json` always.
+    /// Under `--profile`, first prints the per-run bottleneck summaries.
     pub fn emit(&self, args: &BenchArgs, generator: &str) {
+        args.print_profile(&self.rows);
         if let Some(path) = &args.json {
             crate::write_or_die(path, &(self.report_json(generator).to_string() + "\n"));
             eprintln!("wrote report to {}", path.display());

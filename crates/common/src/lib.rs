@@ -5,7 +5,8 @@
 //! addresses ([`Addr`], [`LineAddr`]), the accelerator's data types and ALU
 //! operations ([`DType`], [`AluOp`]) together with bit-exact value arithmetic
 //! ([`value`]), a deterministic [`DelayQueue`] used to model fixed-latency
-//! links, lightweight statistics helpers ([`stats`]), the deterministic
+//! links, lightweight statistics helpers ([`stats`]), batch-exact
+//! cycle-attribution primitives ([`profile`]), the deterministic
 //! worker [`pool`] that parallel figure sweeps and sampled replay share,
 //! the observability layer's event tracing ([`trace`]) and its
 //! dependency-free JSON value ([`json`]).
@@ -27,6 +28,7 @@ pub mod checkpoint;
 pub mod flags;
 pub mod json;
 pub mod pool;
+pub mod profile;
 pub mod queue;
 pub mod stats;
 pub mod trace;
@@ -34,6 +36,7 @@ pub mod types;
 pub mod value;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use profile::{Counter, OccAccum, Pow2Histogram};
 pub use queue::DelayQueue;
 pub use trace::{SpanTracker, TraceBuffer, TraceHandle};
 pub use types::{

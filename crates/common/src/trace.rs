@@ -21,6 +21,7 @@
 //! | `mshr` | one span per miss line, allocation → fill | span |
 //! | `dx100` | `fill`, `issue`, `drain` tile-phase activity per engine | span |
 //! | `stall` | `rob_full`, `lq_full`, `sq_full`, `fence` per core | span |
+//! | `profile` | epoch-boundary utilization samples (`--profile`) | counter |
 
 use std::sync::{Arc, Mutex};
 
@@ -39,6 +40,12 @@ pub enum EventKind {
     },
     /// A point in time.
     Instant,
+    /// A counter sample (`"ph":"C"` in Chrome trace format): the viewer
+    /// draws one stepped utilization curve per counter name.
+    Counter {
+        /// Sampled value.
+        value: u64,
+    },
 }
 
 /// One recorded event, timestamped in CPU cycles.
@@ -57,7 +64,7 @@ pub struct TraceEvent {
 }
 
 /// All events of one simulated run, plus its track registry.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceBuffer {
     events: Vec<TraceEvent>,
     tracks: Vec<String>,
@@ -163,6 +170,18 @@ impl TraceHandle {
             cat,
             ts: ts * self.ts_scale,
             kind: EventKind::Instant,
+            track: self.track,
+        });
+    }
+
+    /// Records a counter sample at component-local time `ts` (drawn as a
+    /// stepped curve named `name` in the viewer).
+    pub fn counter(&self, cat: &'static str, name: impl Into<String>, ts: Cycle, value: u64) {
+        self.buf.lock().unwrap().push(TraceEvent {
+            name: name.into(),
+            cat,
+            ts: ts * self.ts_scale,
+            kind: EventKind::Counter { value },
             track: self.track,
         });
     }
@@ -294,6 +313,14 @@ pub fn chrome_trace_json(runs: &[(String, &TraceBuffer)]) -> String {
                     ev.cat, ev.ts, ev.track
                 ),
             ),
+            EventKind::Counter { value } => emit(
+                &mut out,
+                format!(
+                    "{{\"name\":{name},\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":{pid},\"tid\":{},\"args\":{{\"value\":{value}}}}}",
+                    ev.cat, ev.ts, ev.track
+                ),
+            ),
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
@@ -341,6 +368,31 @@ mod tests {
         assert_eq!(buf.len(), 1, "one span for cycles 2..6");
         assert_eq!(buf.events()[0].ts, 2);
         assert!(matches!(buf.events()[0].kind, EventKind::Span { dur: 4 }));
+    }
+
+    #[test]
+    fn counter_events_export_as_ph_c() {
+        let root = TraceHandle::root(16);
+        root.counter("profile", "dram_qdepth", 40, 14);
+        let buf = root.snapshot();
+        assert!(matches!(
+            buf.events()[0].kind,
+            EventKind::Counter { value: 14 }
+        ));
+        let text = chrome_trace_json(&[("r".to_string(), &buf)]);
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let c = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .expect("counter event present");
+        assert_eq!(c.get("ts").and_then(Json::as_f64), Some(40.0));
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(14.0)
+        );
     }
 
     #[test]

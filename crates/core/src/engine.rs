@@ -16,6 +16,7 @@ use crate::indirect::IndirectUnit;
 use crate::isa::{Instruction, RegId, TileId};
 use crate::memimg::MemoryImage;
 use crate::ports::MemPorts;
+use crate::profile::EngineProfile;
 use crate::range_fuser::RangeFuser;
 use crate::regfile::RegFile;
 use crate::scratchpad::{Scratchpad, Tile};
@@ -100,6 +101,9 @@ pub struct Dx100Engine {
     phase_spans: [SpanTracker; 3],
     /// `(fill, issue)` activity counters at the previous tick.
     prev_phase_counts: [u64; 2],
+    /// Cycle attribution (`None` = profiling disabled). Lives outside
+    /// [`Dx100Stats`] so RunStats stay byte-identical with profiling on.
+    profile: Option<EngineProfile>,
 }
 
 /// Tile phases traced per engine, in `phase_spans` order: index fetch +
@@ -147,8 +151,19 @@ impl Dx100Engine {
             trace: None,
             phase_spans: [SpanTracker::default(); 3],
             prev_phase_counts: [0; 2],
+            profile: None,
             cfg,
         }
+    }
+
+    /// Turns on cycle attribution for this engine.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(EngineProfile::default());
+    }
+
+    /// The attribution profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_ref()
     }
 
     /// Attaches an event sink; contiguous stretches of tile-phase activity
@@ -314,6 +329,9 @@ impl Dx100Engine {
     pub fn reset_stats(&mut self) {
         self.stats = Dx100Stats::default();
         self.prev_phase_counts = [0; 2];
+        if self.profile.is_some() {
+            self.profile = Some(EngineProfile::default());
+        }
     }
 
     /// Row Table occupancy: buffered column entries awaiting issue.
@@ -366,8 +384,29 @@ impl Dx100Engine {
     /// active tick), and every later tick sees zero deltas — so one update
     /// at `from` plus one at `from + 1` reproduces the whole span.
     pub fn credit_idle_span(&mut self, from: Cycle, to: Cycle) {
+        let n = to - from;
         if self.halted.is_some() {
+            if let Some(p) = &mut self.profile {
+                p.halted += n;
+            }
             return;
+        }
+        // Attribution: the span is quiescent by certificate, so the
+        // classification a per-cycle tick would compute is frozen — one
+        // batched credit is bit-identical to `n` ticks.
+        let outstanding = self.ids.outstanding();
+        let depth = self.indirect.buffered_columns() as u64;
+        let draining = self.indirect.pending_responses() > 0;
+        if let Some(p) = &mut self.profile {
+            p.row_table_depth.record_n(depth, n);
+            if outstanding > 0 {
+                p.wait_mem += n;
+            } else {
+                p.idle += n;
+            }
+            if draining {
+                p.drain_ticks += n;
+            }
         }
         let Some(t) = self.trace.clone() else {
             return;
@@ -397,7 +436,16 @@ impl Dx100Engine {
     /// Advances one CPU cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut MemoryImage, ports: &mut dyn MemPorts) {
         if self.halted.is_some() {
+            if let Some(p) = &mut self.profile {
+                p.halted += 1;
+            }
             return;
+        }
+        // Cycle attribution: classify before any state changes so the
+        // class matches what `credit_idle_span` computes for a skipped
+        // span (whose inputs are exactly this pre-tick state).
+        if self.profile.is_some() {
+            self.classify_tick(now);
         }
         let mut retired: Vec<u64> = Vec::new();
 
@@ -486,9 +534,10 @@ impl Dx100Engine {
             self.stats.instructions_retired += 1;
         }
 
-        // 5. Tile-phase tracing: fill/issue activity from counter deltas,
-        //    drain from outstanding indirect responses.
-        if let Some(t) = self.trace.clone() {
+        // 5. Tile-phase activity: fill/issue from counter deltas, drain
+        //    from outstanding indirect responses. Feeds both the trace
+        //    spans and the profiled phase-residency counters.
+        if self.trace.is_some() || self.profile.is_some() {
             let cur = [
                 self.stats.snoop_hits + self.stats.snoop_misses,
                 self.stats.indirect_line_reads + self.stats.indirect_line_writes,
@@ -498,10 +547,49 @@ impl Dx100Engine {
                 cur[1] > self.prev_phase_counts[1],
                 self.indirect.pending_responses() > 0,
             ];
-            for (i, name) in PHASE_NAMES.iter().enumerate() {
-                self.phase_spans[i].update(active[i], now, &t, "dx100", name);
+            if let Some(p) = &mut self.profile {
+                p.fill_ticks += active[0] as u64;
+                p.issue_ticks += active[1] as u64;
+                p.drain_ticks += active[2] as u64;
+            }
+            if let Some(t) = self.trace.clone() {
+                for (i, name) in PHASE_NAMES.iter().enumerate() {
+                    self.phase_spans[i].update(active[i], now, &t, "dx100", name);
+                }
             }
             self.prev_phase_counts = cur;
+        }
+    }
+
+    /// Computes this tick's attribution class from the pre-tick state: the
+    /// same per-unit quiescence predicates [`Dx100Engine::quiescent`] uses,
+    /// so elided spans and real ticks classify identically.
+    fn classify_tick(&mut self, now: Cycle) {
+        let stream_q = self.stream.quiescent(&self.spd);
+        let indirect_q = self.indirect.quiescent(now, &self.spd);
+        let alu_q = self.alu.quiescent(&self.spd);
+        let range_q = self.range.quiescent(&self.spd);
+        let quiesc = self.resp_inbox.is_empty()
+            && self.retired.is_empty()
+            && !self.controller.dispatchable()
+            && stream_q
+            && indirect_q
+            && alu_q
+            && range_q;
+        let outstanding = self.ids.outstanding();
+        let depth = self.indirect.buffered_columns() as u64;
+        let p = self.profile.as_mut().expect("caller checked");
+        p.row_table_depth.record(depth);
+        p.stream_busy += !stream_q as u64;
+        p.indirect_busy += !indirect_q as u64;
+        p.alu_busy += !alu_q as u64;
+        p.range_busy += !range_q as u64;
+        if !quiesc {
+            p.active += 1;
+        } else if outstanding > 0 {
+            p.wait_mem += 1;
+        } else {
+            p.idle += 1;
         }
     }
 
@@ -774,6 +862,41 @@ mod tests {
         assert_eq!(llc_reqs.len(), 1, "cached line must go through the LLC");
         assert_eq!(dram_reqs.len(), 1, "uncached line goes direct to DRAM");
         assert_eq!(engine.stats().snoop_hits, 1);
+    }
+
+    /// The MECE split must cover every tick the engine was driven, and the
+    /// utilization/phase counters must see the gather's unit activity.
+    #[test]
+    fn profile_attribution_is_mece() {
+        let dram = DramConfig::ddr4_3200_2ch();
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc("A", DType::U32, 2048);
+        let idx: Vec<u64> = (0..64).map(|i| (i * 131) % 2048).collect();
+        let mut engine = Dx100Engine::new(small_cfg(), &dram);
+        engine.enable_profile();
+        engine.preload_ptes(0, mem.high_water());
+        engine.write_tile(T0, &idx);
+        engine
+            .push_instruction(Instruction::ild(DType::U32, a.base(), T1, T0), None)
+            .unwrap();
+        let mut ports = TestPorts::new(30);
+        let mut ticks = 0u64;
+        for now in 0..100_000 {
+            while let Some(id) = ports.pop_ready(now) {
+                engine.mem_response(id);
+            }
+            engine.tick(now, &mut mem, &mut ports);
+            ticks += 1;
+            if engine.is_idle() {
+                break;
+            }
+        }
+        let p = engine.profile().unwrap().clone();
+        assert_eq!(p.attributed(), ticks, "every tick lands in one bucket");
+        assert!(p.active > 0 && p.wait_mem > 0, "gather stalls on memory");
+        assert!(p.indirect_busy > 0, "indirect unit did the gather");
+        assert!(p.fill_ticks > 0 && p.issue_ticks > 0 && p.drain_ticks > 0);
+        assert!(p.row_table_depth.total() == ticks);
     }
 
     #[test]

@@ -137,6 +137,10 @@ pub struct IndirectUnit {
     /// column completes, preserving cross-instruction program order on
     /// same-address accesses.
     line_owners: HashMap<LineAddr, (u64, usize)>,
+    /// Running count of column entries across all slices, so the per-cycle
+    /// queue-depth probes ([`IndirectUnit::buffered_columns`]) are O(1)
+    /// instead of walking the whole Row Table.
+    buffered_cols: usize,
 }
 
 impl IndirectUnit {
@@ -173,6 +177,7 @@ impl IndirectUnit {
             resp_queue: VecDeque::new(),
             fill_stall_until: 0,
             line_owners: HashMap::new(),
+            buffered_cols: 0,
         }
     }
 
@@ -330,12 +335,18 @@ impl IndirectUnit {
     }
 
     /// Column entries buffered in the Row Table, across all slices (the
-    /// DX100 queue-depth signal epoch samplers report).
+    /// DX100 queue-depth signal epoch samplers report). O(1): probed every
+    /// cycle by the profiler.
     pub fn buffered_columns(&self) -> usize {
-        self.slices
-            .iter()
-            .map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>())
-            .sum()
+        debug_assert_eq!(
+            self.buffered_cols,
+            self.slices
+                .iter()
+                .map(|s| s.rows.iter().map(|r| r.cols.len()).sum::<usize>())
+                .sum::<usize>(),
+            "buffered-column count drifted from the Row Table"
+        );
+        self.buffered_cols
     }
 
     /// Diagnostic summary of internal occupancy.
@@ -556,6 +567,7 @@ impl IndirectUnit {
                 cols: vec![col],
             });
         }
+        self.buffered_cols += 1;
         if !self.cfg.reorder {
             self.fifo.push_back((slice_idx, line, col_id));
         }
@@ -848,6 +860,7 @@ impl IndirectUnit {
                 .position(|c| col_matches(c, col_id))
             {
                 let col = slice.rows[r_idx].cols.remove(c_idx);
+                self.buffered_cols -= 1;
                 if slice.rows[r_idx].cols.is_empty() {
                     slice.rows.remove(r_idx);
                 }

@@ -70,6 +70,7 @@ pub mod indirect;
 pub mod isa;
 pub mod memimg;
 pub mod ports;
+pub mod profile;
 pub mod range_fuser;
 pub mod regfile;
 pub mod scratchpad;
@@ -81,4 +82,5 @@ pub use config::Dx100Config;
 pub use engine::Dx100Engine;
 pub use memimg::{ArrayHandle, MemoryImage};
 pub use ports::MemPorts;
+pub use profile::EngineProfile;
 pub use stats::Dx100Stats;

@@ -1,0 +1,131 @@
+//! Per-engine DX100 cycle attribution: a MECE tick breakdown plus
+//! per-unit utilization and tile-phase residency counters.
+//!
+//! The top-level split (`active` / `wait_mem` / `idle` / `halted`) is
+//! derived from the same quiescence predicates the cycle-skip layer uses
+//! ([`crate::Dx100Engine::next_event`]), so it is bit-identical with
+//! skipping on or off: a certified span is quiescent by construction, its
+//! outstanding-request count is frozen, and
+//! [`crate::Dx100Engine::credit_idle_span`] credits the whole span in one
+//! step with the same classification a per-cycle tick would compute.
+
+use dx100_common::Pow2Histogram;
+
+/// Cycle attribution for one DX100 engine instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Ticks where some unit, the controller, or the response inbox had
+    /// work (the engine was not quiescent).
+    pub active: u64,
+    /// Quiescent ticks with memory requests outstanding: the engine is
+    /// stalled on DRAM/LLC, not out of work.
+    pub wait_mem: u64,
+    /// Quiescent ticks with nothing outstanding: no instructions queued.
+    pub idle: u64,
+    /// Ticks after a runtime error halted the engine.
+    pub halted: u64,
+    /// Ticks the stream unit had work (non-quiescent). Utilization
+    /// counters overlap; they are not part of the MECE split.
+    pub stream_busy: u64,
+    /// Ticks the indirect unit had work.
+    pub indirect_busy: u64,
+    /// Ticks the ALU had work.
+    pub alu_busy: u64,
+    /// Ticks the range fuser had work.
+    pub range_busy: u64,
+    /// Ticks the fill phase progressed (index fetch + snoop activity).
+    pub fill_ticks: u64,
+    /// Ticks the issue phase progressed (coalesced line reads/writes).
+    pub issue_ticks: u64,
+    /// Ticks the drain phase was live (indirect responses outstanding).
+    pub drain_ticks: u64,
+    /// Row Table occupancy (buffered column entries), sampled every tick.
+    pub row_table_depth: Pow2Histogram,
+}
+
+impl EngineProfile {
+    /// Total ticks attributed by the MECE split (must equal the ticks the
+    /// engine was driven, real plus credited).
+    pub fn attributed(&self) -> u64 {
+        self.active + self.wait_mem + self.idle + self.halted
+    }
+
+    /// The MECE buckets as `(name, ticks)` pairs, in report order.
+    pub fn buckets(&self) -> [(&'static str, u64); 4] {
+        [
+            ("active", self.active),
+            ("wait_mem", self.wait_mem),
+            ("idle", self.idle),
+            ("halted", self.halted),
+        ]
+    }
+
+    /// Per-unit busy counters as `(name, ticks)` pairs, in report order.
+    pub fn unit_busy(&self) -> [(&'static str, u64); 4] {
+        [
+            ("stream", self.stream_busy),
+            ("indirect", self.indirect_busy),
+            ("alu", self.alu_busy),
+            ("range", self.range_busy),
+        ]
+    }
+
+    /// Tile-phase residency as `(name, ticks)` pairs, in report order.
+    pub fn phases(&self) -> [(&'static str, u64); 3] {
+        [
+            ("fill", self.fill_ticks),
+            ("issue", self.issue_ticks),
+            ("drain", self.drain_ticks),
+        ]
+    }
+
+    /// Folds another engine's breakdown in (field-wise sum).
+    pub fn merge(&mut self, other: &EngineProfile) {
+        self.active += other.active;
+        self.wait_mem += other.wait_mem;
+        self.idle += other.idle;
+        self.halted += other.halted;
+        self.stream_busy += other.stream_busy;
+        self.indirect_busy += other.indirect_busy;
+        self.alu_busy += other.alu_busy;
+        self.range_busy += other.range_busy;
+        self.fill_ticks += other.fill_ticks;
+        self.issue_ticks += other.issue_ticks;
+        self.drain_ticks += other.drain_ticks;
+        self.row_table_depth.merge(&other.row_table_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributed_is_the_mece_split_only() {
+        let p = EngineProfile {
+            active: 10,
+            wait_mem: 20,
+            idle: 30,
+            halted: 1,
+            stream_busy: 999, // utilization counters must not count
+            ..EngineProfile::default()
+        };
+        assert_eq!(p.attributed(), 61);
+        assert_eq!(p.buckets().iter().map(|(_, v)| v).sum::<u64>(), 61);
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = EngineProfile {
+            active: 1,
+            drain_ticks: 2,
+            ..EngineProfile::default()
+        };
+        a.row_table_depth.record(5);
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.active, 2);
+        assert_eq!(b.drain_ticks, 4);
+        assert_eq!(b.row_table_depth.total(), 2);
+    }
+}

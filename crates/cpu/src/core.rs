@@ -9,6 +9,7 @@ use dx100_common::{Addr, CoreId, Cycle, DelayQueue, SpanTracker, TraceHandle};
 use crate::channel::{ChannelQueue, SegmentState};
 use crate::config::CoreConfig;
 use crate::op::{CoreOp, OpStreamKind, VecStream};
+use crate::profile::CoreProfile;
 use crate::stats::CoreStats;
 
 /// Kind of a memory operation handed to the memory system.
@@ -85,6 +86,8 @@ pub struct Core {
     mem_inflight: usize,
     mmio_signals: Vec<u32>,
     stats: CoreStats,
+    /// Cycle-attribution breakdown (`None` = profiling disabled).
+    profile: Option<CoreProfile>,
     /// Event sink for stall tracing (`None` = tracing disabled).
     trace: Option<TraceHandle>,
     /// One tracker per stall reason in [`STALL_NAMES`] order.
@@ -185,6 +188,7 @@ pub struct CoreState {
     mem_inflight: usize,
     mmio_signals: Vec<u32>,
     stats: CoreStats,
+    profile: Option<CoreProfile>,
     stall_spans: [SpanTracker; 4],
     prev_stalls: [u64; 4],
 }
@@ -249,10 +253,23 @@ impl Core {
             mem_inflight: 0,
             mmio_signals: Vec::new(),
             stats: CoreStats::default(),
+            profile: None,
             trace: None,
             stall_spans: [SpanTracker::default(); 4],
             prev_stalls: [0; 4],
         }
+    }
+
+    /// Turns on cycle attribution: every live cycle is classified into one
+    /// [`CoreProfile`] bucket, in [`Core::tick`] and in skip-span credits
+    /// alike.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(CoreProfile::default());
+    }
+
+    /// The attribution breakdown (`None` when profiling is off).
+    pub fn profile(&self) -> Option<&CoreProfile> {
+        self.profile.as_ref()
     }
 
     /// Attaches an event sink; contiguous stretches of each stall reason
@@ -304,6 +321,7 @@ impl Core {
             mem_inflight: self.mem_inflight,
             mmio_signals: self.mmio_signals.clone(),
             stats: self.stats.clone(),
+            profile: self.profile,
             stall_spans: self.stall_spans,
             prev_stalls: self.prev_stalls,
         })
@@ -332,6 +350,7 @@ impl Core {
         self.mem_inflight = s.mem_inflight;
         self.mmio_signals = s.mmio_signals.clone();
         self.stats = s.stats.clone();
+        self.profile = s.profile;
         self.stall_spans = s.stall_spans;
         self.prev_stalls = s.prev_stalls;
     }
@@ -379,6 +398,9 @@ impl Core {
     /// Clears statistics (ROI boundary).
     pub fn reset_stats(&mut self) {
         self.stats = CoreStats::default();
+        if self.profile.is_some() {
+            self.profile = Some(CoreProfile::default());
+        }
         self.prev_stalls = [0; 4];
     }
 
@@ -424,6 +446,14 @@ impl Core {
             return;
         }
         self.stats.cycles += 1;
+
+        // 0. Cycle attribution: classify before any state changes, with the
+        //    same predicate the skip layer's batch credit uses, so the
+        //    breakdown is bit-identical with skipping on or off.
+        if self.profile.is_some() {
+            let class = self.idle_class(now, flags);
+            self.credit_profile(class, 1);
+        }
 
         // 1. Internal completions (ALU latency, MMIO latency, atomic locks).
         while let Some(seq) = self.internal_done.pop_ready(now) {
@@ -618,6 +648,7 @@ impl Core {
             .idle_class(from, flags)
             .expect("credit_idle_span requires a quiescent core");
         self.stats.cycles += n;
+        self.credit_profile(Some(class), n);
         match class.dispatch {
             DispatchIdle::Wait { spin } => {
                 self.stats.wait_cycles += n;
@@ -667,6 +698,29 @@ impl Core {
                 self.stall_spans[i].update(cur[i] > self.prev_stalls[i], from, &t, "stall", name);
             }
             self.prev_stalls = cur;
+        }
+    }
+
+    /// Adds `n` cycles of `class` to the attribution breakdown. The MECE
+    /// mapping: an active cycle (`None`) is `active`; otherwise the
+    /// dispatch-side stall wins, and a stall-free-but-empty dispatch falls
+    /// through to the issue side (atomic fence, else truly empty).
+    fn credit_profile(&mut self, class: Option<IdleClass>, n: u64) {
+        let Some(p) = &mut self.profile else { return };
+        match class {
+            None => p.active += n,
+            Some(c) => match c.dispatch {
+                DispatchIdle::Wait { spin: true } => p.wait_spin += n,
+                DispatchIdle::Wait { spin: false } => p.wait_flag += n,
+                DispatchIdle::Fence => p.fence += n,
+                DispatchIdle::RobFull => p.rob_full += n,
+                DispatchIdle::LqFull => p.lq_full += n,
+                DispatchIdle::SqFull => p.sq_full += n,
+                DispatchIdle::Empty => match c.issue {
+                    IssueIdle::Fence => p.fence += n,
+                    IssueIdle::Empty => p.empty += n,
+                },
+            },
         }
     }
 
@@ -1054,6 +1108,32 @@ mod tests {
             }
         }
         panic!("core never finished");
+    }
+
+    #[test]
+    fn profile_attribution_is_mece() {
+        // A dependent miss chain: most cycles are memory-latency shadows.
+        let ops: Vec<CoreOp> = (0..8)
+            .map(|i| {
+                if i == 0 {
+                    CoreOp::load(0, 0)
+                } else {
+                    CoreOp::load(i * 64, 0).with_dep(1)
+                }
+            })
+            .collect();
+        let mut core = Core::new(0, CoreConfig::paper(), VecStream::new(ops));
+        core.enable_profile();
+        let mut mem = FakeMem::new(100);
+        run(&mut core, &mut mem, 10_000);
+        let p = *core.profile().expect("profiling enabled");
+        assert_eq!(
+            p.attributed(),
+            core.stats().cycles,
+            "every live cycle must land in exactly one bucket: {p:?}"
+        );
+        assert!(p.active > 0);
+        assert!(p.empty > 0, "latency shadows of a drained stream: {p:?}");
     }
 
     #[test]

@@ -39,10 +39,12 @@ pub mod channel;
 pub mod config;
 pub mod core;
 pub mod op;
+pub mod profile;
 pub mod stats;
 
 pub use crate::core::{Core, CoreState, MemIssue, MemKind, StreamState};
 pub use channel::{ChannelQueue, SegmentState};
 pub use config::CoreConfig;
 pub use op::{CoreOp, EmptyStream, OpStream, OpStreamKind, VecStream};
+pub use profile::CoreProfile;
 pub use stats::CoreStats;

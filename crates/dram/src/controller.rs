@@ -15,6 +15,7 @@ use dx100_common::{Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 use crate::channel::Channel;
 use crate::config::DramConfig;
 use crate::mapping::DramCoord;
+use crate::profile::{CasOutcome, ChannelProfile};
 use crate::stats::DramStats;
 use crate::{MemRequest, MemResponse};
 
@@ -39,6 +40,20 @@ struct RequestBuffer {
     /// Whether this request triggered its own ACT (row miss) — used for the
     /// row-buffer hit-rate statistic.
     caused_act: Vec<bool>,
+    /// Whether this request forced a PRE first (row conflict) — refines the
+    /// profiled per-bank miss/conflict split.
+    caused_pre: Vec<bool>,
+}
+
+/// What one controller tick did, for the profiled cmd/refresh/idle split.
+#[derive(Clone, Copy)]
+enum TickWork {
+    /// A command issued this tick (CAS, ACT, PRE, or a refresh start).
+    Command,
+    /// The channel was blocked inside a tRFC refresh window.
+    Refreshing,
+    /// Nothing issued.
+    Idle,
 }
 
 /// One request popped out of the [`RequestBuffer`] for issue.
@@ -51,6 +66,7 @@ struct Issued {
     bank_group: usize,
     arrived_at: Cycle,
     caused_act: bool,
+    caused_pre: bool,
 }
 
 impl RequestBuffer {
@@ -72,6 +88,7 @@ impl RequestBuffer {
         self.rank.push(coord.rank);
         self.arrived_at.push(now);
         self.caused_act.push(false);
+        self.caused_pre.push(false);
     }
 
     fn remove(&mut self, i: usize) -> Issued {
@@ -84,6 +101,7 @@ impl RequestBuffer {
             bank_group: self.bank_group.remove(i),
             arrived_at: self.arrived_at.remove(i),
             caused_act: self.caused_act.remove(i),
+            caused_pre: self.caused_pre.remove(i),
         };
         self.rank.remove(i);
         issued
@@ -107,6 +125,8 @@ pub struct ChannelController {
     refresh_until: Cycle,
     /// Event sink for DRAM command tracing (`None` = tracing disabled).
     trace: Option<TraceHandle>,
+    /// Tick attribution + per-bank CAS profile (`None` = profiling off).
+    profile: Option<ChannelProfile>,
 }
 
 impl ChannelController {
@@ -123,7 +143,18 @@ impl ChannelController {
             next_refresh,
             refresh_until: 0,
             trace: None,
+            profile: None,
         }
+    }
+
+    /// Turns on per-tick attribution and per-bank CAS profiling.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(ChannelProfile::new(self.channel.num_banks()));
+    }
+
+    /// The channel's attribution profile (`None` when profiling is off).
+    pub fn profile(&self) -> Option<&ChannelProfile> {
+        self.profile.as_ref()
     }
 
     /// Attaches an event sink; commands (ACT/PRE instants, RD/WR/REF spans)
@@ -168,6 +199,9 @@ impl ChannelController {
             pre_base,
             ..DramStats::default()
         };
+        if self.profile.is_some() {
+            self.profile = Some(ChannelProfile::new(self.channel.num_banks()));
+        }
     }
 
     /// Advances one DRAM tick: deliver completed reads, sample occupancy,
@@ -183,11 +217,27 @@ impl ChannelController {
         self.stats.data_busy_ticks = self.channel.data_busy_ticks - self.stats.data_busy_base;
         self.stats.activates = self.channel.activates - self.stats.act_base;
         self.stats.precharges = self.channel.precharges - self.stats.pre_base;
+        if let Some(p) = &mut self.profile {
+            p.queue_depth.record(self.buffer.len() as u64);
+        }
 
+        let work = self.schedule(now, responses);
+        if let Some(p) = &mut self.profile {
+            match work {
+                TickWork::Command => p.cmd_ticks += 1,
+                TickWork::Refreshing => p.refresh_ticks += 1,
+                TickWork::Idle => p.idle_ticks += 1,
+            }
+        }
+    }
+
+    /// The command-scheduling half of [`ChannelController::tick`], returning
+    /// what kind of work (if any) this tick performed.
+    fn schedule(&mut self, now: Cycle, responses: &mut VecDeque<MemResponse>) -> TickWork {
         // Refresh: at tREFI cadence, drain (precharge) every bank, then
         // block the channel for tRFC.
         if now < self.refresh_until {
-            return;
+            return TickWork::Refreshing;
         }
         if now >= self.next_refresh {
             if self.all_banks_closed() {
@@ -197,15 +247,18 @@ impl ChannelController {
                 if let Some(t) = &self.trace {
                     t.span("dram", "REF", now, self.refresh_until);
                 }
-                return;
+                return TickWork::Command;
             }
             // Close open banks as their timing allows; no new ACT/CAS.
-            self.drain_for_refresh(now);
-            return;
+            return if self.drain_for_refresh(now) {
+                TickWork::Command
+            } else {
+                TickWork::Idle
+            };
         }
 
         if self.buffer.is_empty() {
-            return;
+            return TickWork::Idle;
         }
 
         // Starvation escape hatch: when the oldest request has waited too
@@ -213,29 +266,31 @@ impl ChannelController {
         let starving =
             now.saturating_sub(self.buffer.arrived_at[0]) > self.config.starvation_threshold;
 
-        if self.try_issue_cas(now, responses, starving) {
-            return;
+        if self.try_issue_cas(now, responses, starving)
+            || self.try_issue_act(now, starving)
+            || self.try_issue_pre(now, starving)
+        {
+            TickWork::Command
+        } else {
+            TickWork::Idle
         }
-        if self.try_issue_act(now, starving) {
-            return;
-        }
-        self.try_issue_pre(now, starving);
     }
 
     fn all_banks_closed(&self) -> bool {
         (0..self.channel.num_banks()).all(|b| self.channel.bank(b).open_row().is_none())
     }
 
-    fn drain_for_refresh(&mut self, now: Cycle) {
+    fn drain_for_refresh(&mut self, now: Cycle) -> bool {
         for b in 0..self.channel.num_banks() {
             if self.channel.bank(b).open_row().is_some() && self.channel.can_pre(b, now) {
                 self.channel.issue_pre(b, now);
                 if let Some(t) = &self.trace {
                     t.instant("dram", format!("PRE b{b}"), now);
                 }
-                return;
+                return true;
             }
         }
+        false
     }
 
     /// Phase 1: oldest pending request whose row is open and whose CAS is
@@ -307,6 +362,16 @@ impl ChannelController {
         }
         self.stats.row_hits_misses.record(!p.caused_act);
         self.stats.queue_latency.sample((now - p.arrived_at) as f64);
+        if let Some(prof) = &mut self.profile {
+            let outcome = if !p.caused_act {
+                CasOutcome::Hit
+            } else if p.caused_pre {
+                CasOutcome::Conflict
+            } else {
+                CasOutcome::Miss
+            };
+            prof.record_cas(p.bank_idx, outcome);
+        }
         if p.is_write {
             self.stats.writes += 1;
             responses.push_back(MemResponse {
@@ -389,6 +454,7 @@ impl ChannelController {
                 continue;
             }
             if self.channel.can_pre(bank_idx, now) {
+                self.buffer.caused_pre[i] = true;
                 self.channel.issue_pre(bank_idx, now);
                 if let Some(t) = &self.trace {
                     t.instant("dram", format!("PRE b{bank_idx}"), now);
@@ -464,17 +530,30 @@ impl ChannelController {
         ev
     }
 
-    /// Credits `n` skipped ticks' worth of bookkeeping: bit-identical to `n`
-    /// [`ChannelController::tick`] calls that each took the bookkeeping-only
-    /// path. The derived counters (`data_busy_ticks`, `activates`,
-    /// `precharges`) are snapshots re-assigned on every real tick and cannot
-    /// move while no command issues, so they need no update here.
-    pub fn credit_idle_ticks(&mut self, n: u64) {
+    /// Credits `n` skipped ticks' worth of bookkeeping starting at tick
+    /// `from`: bit-identical to `n` [`ChannelController::tick`] calls that
+    /// each took the bookkeeping-only path. The derived counters
+    /// (`data_busy_ticks`, `activates`, `precharges`) are snapshots
+    /// re-assigned on every real tick and cannot move while no command
+    /// issues, so they need no update here.
+    ///
+    /// The skip certificate guarantees the span is command-free, but it may
+    /// still overlap a tRFC refresh window (`next_event` names
+    /// `refresh_until` as the next event, so the span ends at or before it).
+    /// The profiled refresh/idle split therefore falls out of the frozen
+    /// `refresh_until` watermark.
+    pub fn credit_idle_ticks(&mut self, from: Cycle, n: u64) {
         self.stats.ticks += n;
         self.stats.occupancy.sample_n(
             self.buffer.len() as f64 / self.config.request_buffer_size as f64,
             n,
         );
+        if let Some(p) = &mut self.profile {
+            p.queue_depth.record_n(self.buffer.len() as u64, n);
+            let refreshing = n.min(self.refresh_until.saturating_sub(from));
+            p.refresh_ticks += refreshing;
+            p.idle_ticks += n - refreshing;
+        }
     }
 }
 

@@ -41,11 +41,13 @@ pub mod channel;
 pub mod config;
 pub mod controller;
 pub mod mapping;
+pub mod profile;
 pub mod stats;
 
 pub use config::{DramConfig, DramTimings, Organization};
 pub use controller::ChannelController;
 pub use mapping::{AddrMap, DramCoord};
+pub use profile::{CasOutcome, ChannelProfile};
 pub use stats::DramStats;
 
 use dx100_common::{Cycle, LineAddr, ReqId, TraceHandle};
@@ -204,11 +206,11 @@ impl DramSystem {
             .min()
     }
 
-    /// Credits `n` skipped ticks of bookkeeping to every channel
-    /// (see [`ChannelController::credit_idle_ticks`]).
-    pub fn credit_idle_ticks(&mut self, n: u64) {
+    /// Credits `n` skipped ticks of bookkeeping starting at tick `from` to
+    /// every channel (see [`ChannelController::credit_idle_ticks`]).
+    pub fn credit_idle_ticks(&mut self, from: Cycle, n: u64) {
         for c in &mut self.controllers {
-            c.credit_idle_ticks(n);
+            c.credit_idle_ticks(from, n);
         }
     }
 
@@ -224,6 +226,19 @@ impl DramSystem {
     /// Per-channel statistics.
     pub fn channel_stats(&self) -> Vec<DramStats> {
         self.controllers.iter().map(|c| c.stats().clone()).collect()
+    }
+
+    /// Turns on cycle attribution for every channel.
+    pub fn enable_profile(&mut self) {
+        for c in &mut self.controllers {
+            c.enable_profile();
+        }
+    }
+
+    /// Per-channel attribution profiles, in channel order. `None` entries
+    /// mean profiling was never enabled.
+    pub fn channel_profiles(&self) -> Vec<Option<&ChannelProfile>> {
+        self.controllers.iter().map(|c| c.profile()).collect()
     }
 
     /// Resets all statistics counters (used to exclude warm-up phases from

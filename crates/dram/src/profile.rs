@@ -1,0 +1,104 @@
+//! Per-channel DRAM attribution: command/refresh/idle tick breakdown,
+//! request-queue depth histogram, and per-bank CAS outcomes.
+//!
+//! Like the core profile, every counter here is batch-exact: elided
+//! quiescent spans are command-free by the skip layer's certificate, so
+//! [`crate::ChannelController::credit_idle_ticks`] can credit them in one
+//! step — the queue depth is frozen over the span, and the refresh/idle
+//! split falls out of the frozen `refresh_until` watermark.
+
+use dx100_common::Pow2Histogram;
+
+/// MECE per-tick breakdown plus utilization detail for one DRAM channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelProfile {
+    /// Ticks where a command issued (CAS, ACT, PRE, or a refresh start).
+    pub cmd_ticks: u64,
+    /// Ticks blocked mid-refresh (tRFC window, nothing may issue).
+    pub refresh_ticks: u64,
+    /// Ticks where nothing issued and no refresh was in progress.
+    pub idle_ticks: u64,
+    /// Request-buffer depth, sampled once per tick.
+    pub queue_depth: Pow2Histogram,
+    /// Per-bank CAS outcomes: row hit — the open row was reused.
+    pub bank_hits: Vec<u64>,
+    /// Per-bank CAS outcomes: row miss — the bank was closed, ACT only.
+    pub bank_misses: Vec<u64>,
+    /// Per-bank CAS outcomes: row conflict — another row was open, so the
+    /// request forced a PRE before its ACT.
+    pub bank_conflicts: Vec<u64>,
+}
+
+/// The three CAS outcomes a profiled controller distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// Served from the already open row.
+    Hit,
+    /// Bank was closed; paid ACT.
+    Miss,
+    /// Evicted another row first; paid PRE + ACT.
+    Conflict,
+}
+
+impl ChannelProfile {
+    /// An empty profile with per-bank counters sized for `banks`.
+    pub fn new(banks: usize) -> Self {
+        ChannelProfile {
+            bank_hits: vec![0; banks],
+            bank_misses: vec![0; banks],
+            bank_conflicts: vec![0; banks],
+            ..ChannelProfile::default()
+        }
+    }
+
+    /// Total ticks attributed (must equal the channel's `stats.ticks`).
+    pub fn attributed(&self) -> u64 {
+        self.cmd_ticks + self.refresh_ticks + self.idle_ticks
+    }
+
+    /// Records one CAS outcome on `bank`.
+    pub fn record_cas(&mut self, bank: usize, outcome: CasOutcome) {
+        match outcome {
+            CasOutcome::Hit => self.bank_hits[bank] += 1,
+            CasOutcome::Miss => self.bank_misses[bank] += 1,
+            CasOutcome::Conflict => self.bank_conflicts[bank] += 1,
+        }
+    }
+
+    /// Whole-channel hit/miss/conflict totals.
+    pub fn cas_totals(&self) -> (u64, u64, u64) {
+        (
+            self.bank_hits.iter().sum(),
+            self.bank_misses.iter().sum(),
+            self.bank_conflicts.iter().sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_outcomes_land_per_bank() {
+        let mut p = ChannelProfile::new(4);
+        p.record_cas(3, CasOutcome::Hit);
+        p.record_cas(3, CasOutcome::Conflict);
+        p.record_cas(0, CasOutcome::Miss);
+        assert_eq!(p.bank_hits[3], 1);
+        assert_eq!(p.bank_conflicts[3], 1);
+        assert_eq!(p.bank_misses[0], 1);
+        assert_eq!(p.cas_totals(), (1, 1, 1));
+    }
+
+    #[test]
+    fn attributed_sums_tick_buckets() {
+        let p = ChannelProfile {
+            cmd_ticks: 5,
+            refresh_ticks: 2,
+            idle_ticks: 9,
+            ..ChannelProfile::new(1)
+        };
+        assert_eq!(p.attributed(), 16);
+    }
+}

@@ -9,6 +9,7 @@ use crate::array::{CacheArray, Victim};
 use crate::config::CacheConfig;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::StridePrefetcher;
+use crate::profile::CacheProfile;
 use crate::stats::CacheStats;
 use crate::{Access, Requester};
 
@@ -50,6 +51,10 @@ pub struct Cache {
     trace: Option<TraceHandle>,
     /// Allocation times of outstanding misses; populated only while tracing.
     miss_since: HashMap<LineAddr, Cycle>,
+    /// MSHR/retry occupancy attribution (`None` = profiling disabled).
+    /// Lives outside [`CacheStats`] so RunStats stay byte-identical with
+    /// profiling on.
+    profile: Option<CacheProfile>,
 }
 
 impl Cache {
@@ -69,7 +74,28 @@ impl Cache {
             scratch_candidates: Vec::new(),
             trace: None,
             miss_since: HashMap::new(),
+            profile: None,
             config,
+        }
+    }
+
+    /// Turns on MSHR-occupancy profiling for this level.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(CacheProfile::default());
+    }
+
+    /// The occupancy profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&CacheProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Credits `n` elided quiescent ticks: records `n` samples of the
+    /// frozen MSHR/retry occupancy, bit-identical to `n` no-op ticks.
+    pub fn credit_idle_ticks(&mut self, n: u64) {
+        let mshr = self.mshr.in_use() as u64;
+        let retry = self.retry.len() as u64;
+        if let Some(p) = &mut self.profile {
+            p.sample(mshr, retry, n);
         }
     }
 
@@ -117,6 +143,9 @@ impl Cache {
     /// Clears statistics (ROI boundary).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        if self.profile.is_some() {
+            self.profile = Some(CacheProfile::default());
+        }
     }
 
     /// Earliest cycle ≥ `from` at which [`Cache::tick`] would process an
@@ -133,6 +162,11 @@ impl Cache {
     /// Processes up to `ports` ready accesses (retries first), producing
     /// hits and newly allocated misses.
     pub fn tick(&mut self, now: Cycle, out: &mut CacheOutputs) {
+        // Sample occupancy from the pre-tick state so a credited span (which
+        // sees the same frozen state) is bit-identical to per-cycle ticks.
+        if self.profile.is_some() {
+            self.credit_idle_ticks(1);
+        }
         for _ in 0..self.ports {
             let access = if let Some(a) = self.retry.pop_front() {
                 a

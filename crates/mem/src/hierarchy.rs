@@ -7,6 +7,7 @@ use dx100_common::{CoreId, Cycle, DelayQueue, LineAddr, ReqId, TraceHandle};
 
 use crate::cache::{Cache, CacheOutputs};
 use crate::config::HierarchyConfig;
+use crate::profile::HierarchyProfile;
 use crate::stats::HierarchyStats;
 use crate::{Access, Requester};
 
@@ -389,6 +390,37 @@ impl MemoryHierarchy {
             c.reset_stats();
         }
         self.llc.reset_stats();
+    }
+
+    /// Turns on MSHR-occupancy profiling at every level.
+    pub fn enable_profile(&mut self) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.enable_profile();
+        }
+        self.llc.enable_profile();
+    }
+
+    /// Credits an elided quiescent span of `n` cycles to every level's
+    /// occupancy profile (every cache is frozen across the span).
+    pub fn credit_idle_span(&mut self, n: u64) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.credit_idle_ticks(n);
+        }
+        self.llc.credit_idle_ticks(n);
+    }
+
+    /// Per-level occupancy profiles with private levels merged across
+    /// cores, or `None` if profiling was never enabled.
+    pub fn profile(&self) -> Option<HierarchyProfile> {
+        let mut out = HierarchyProfile::default();
+        for c in &self.l1 {
+            out.l1.merge(c.profile()?);
+        }
+        for c in &self.l2 {
+            out.l2.merge(c.profile()?);
+        }
+        out.llc.merge(self.llc.profile()?);
+        Some(out)
     }
 
     /// Attaches event tracing: every cache level's MSHR file gets its own

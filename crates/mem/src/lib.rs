@@ -38,11 +38,13 @@ pub mod config;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
+pub mod profile;
 pub mod stats;
 
 pub use cache::{Cache, CacheOutputs};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::{CoreResponse, DramBound, MemoryHierarchy};
+pub use profile::{CacheProfile, HierarchyProfile};
 pub use stats::{CacheStats, HierarchyStats};
 
 use dx100_common::{CoreId, LineAddr, ReqId};

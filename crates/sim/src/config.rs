@@ -20,6 +20,10 @@ pub struct ObservabilityConfig {
     pub trace_capacity: usize,
     /// Snapshot epoch metrics every N CPU cycles (`None` = off).
     pub epoch_cycles: Option<u64>,
+    /// Cycle-attribution profiling: per-component stall taxonomy,
+    /// utilization counters, and occupancy histograms. Off by default;
+    /// never alters [`crate::RunStats`], traces, or epoch samples.
+    pub profile: bool,
 }
 
 /// Default per-run trace event cap (bounds file size when a figure binary
@@ -32,6 +36,7 @@ impl Default for ObservabilityConfig {
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             epoch_cycles: None,
+            profile: false,
         }
     }
 }

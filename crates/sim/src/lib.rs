@@ -33,6 +33,7 @@
 pub mod config;
 pub mod driver;
 pub mod epoch;
+pub mod profile;
 pub mod region;
 pub mod report;
 pub mod stats;
@@ -42,5 +43,6 @@ pub use config::{ObservabilityConfig, SystemConfig};
 pub use driver::{Driver, DriverStatus};
 pub use dx100_common::{Checkpoint, CheckpointError};
 pub use epoch::{EpochSample, EpochSampler};
+pub use profile::{RunTelemetry, SystemProfile, PROFILE_VERSION};
 pub use stats::RunStats;
 pub use system::{System, SystemCheckpoint};

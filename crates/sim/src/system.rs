@@ -14,6 +14,7 @@ use dx100_prefetch::Dmp;
 use crate::config::SystemConfig;
 use crate::driver::{Driver, DriverStatus};
 use crate::epoch::EpochSampler;
+use crate::profile::{RunTelemetry, SystemProfile};
 use crate::region::{RegionCoherence, RegionGrant};
 use crate::stats::RunStats;
 
@@ -133,6 +134,11 @@ pub struct System {
     span_start: Cycle,
     /// Root trace handle when tracing is on; components hold child handles.
     trace_root: Option<TraceHandle>,
+    /// Separate sink for profile counter events (`"ph":"C"`). Kept out of
+    /// `trace_root` so [`RunStats::trace`] stays byte-identical with
+    /// profiling on or off; consumers merge it into the Chrome trace at
+    /// write time via [`RunTelemetry::counters`].
+    profile_trace: Option<TraceHandle>,
     /// Epoch time-series sampler when epoch sampling is on.
     sampler: Option<EpochSampler>,
 }
@@ -173,6 +179,18 @@ impl System {
                 engine.set_trace(root.track(format!("DX100.{i}")));
             }
         }
+        let mut profile_trace = None;
+        if cfg.obs.profile {
+            for core in &mut cores {
+                core.enable_profile();
+            }
+            hier.enable_profile();
+            dram.enable_profile();
+            for engine in &mut engines {
+                engine.enable_profile();
+            }
+            profile_trace = Some(TraceHandle::root(cfg.obs.trace_capacity));
+        }
         let sampler = cfg.obs.epoch_cycles.map(|e| EpochSampler::new(e, 0));
         System {
             clock: 0,
@@ -204,6 +222,7 @@ impl System {
             skip_until: 0,
             span_start: 0,
             trace_root,
+            profile_trace,
             sampler,
             cfg,
         }
@@ -495,6 +514,9 @@ impl System {
                 stats.epochs = s.take_samples();
             }
         }
+        // Final counter sample at the last cycle, sampler or not, so a
+        // profiled trace always carries the counter tracks.
+        self.emit_profile_counters(now, self.dx100_queue_depth());
         if let Some(root) = &self.trace_root {
             stats.trace = Some(root.snapshot());
         }
@@ -519,6 +541,104 @@ impl System {
     /// Accumulated `(skipped_cycles, skip_events)` cycle-skip telemetry.
     pub fn skip_stats(&self) -> (u64, u64) {
         (self.skipped_cycles, self.skip_events)
+    }
+
+    /// Rolls every component's cycle attribution into one
+    /// [`SystemProfile`], or `None` when `obs.profile` is off. Checks the
+    /// MECE contract on collection: each component's buckets must sum to
+    /// exactly the cycles (or DRAM ticks) it was timed for.
+    pub fn collect_profile(&self) -> Option<SystemProfile> {
+        if !self.cfg.obs.profile {
+            return None;
+        }
+        debug_assert_eq!(
+            self.span_start, self.clock,
+            "profile collected with an unsettled skip span"
+        );
+        let elapsed = self.clock - self.roi_start;
+        let mut cores = dx100_cpu::CoreProfile::default();
+        let mut live = 0u64;
+        for c in &self.cores {
+            let p = c.profile()?;
+            debug_assert_eq!(
+                p.attributed(),
+                c.stats().cycles,
+                "core {} attribution is not MECE",
+                c.id()
+            );
+            live += p.attributed();
+            cores.merge(p);
+        }
+        let core_drained = elapsed * self.cores.len() as u64 - live;
+        let engines = if self.engines.is_empty() {
+            None
+        } else {
+            let mut agg = dx100_core::EngineProfile::default();
+            for e in &self.engines {
+                let p = e.profile()?;
+                debug_assert_eq!(p.attributed(), elapsed, "DX100 attribution is not MECE");
+                agg.merge(p);
+            }
+            Some(agg)
+        };
+        let dram_ticks = self.dram.stats().ticks;
+        let dram: Vec<dx100_dram::ChannelProfile> = self
+            .dram
+            .channel_profiles()
+            .into_iter()
+            .map(|p| {
+                let p = p?;
+                debug_assert_eq!(p.attributed(), dram_ticks, "DRAM attribution is not MECE");
+                Some(p.clone())
+            })
+            .collect::<Option<_>>()?;
+        Some(SystemProfile {
+            elapsed,
+            num_cores: self.cores.len(),
+            cores,
+            core_drained,
+            engines,
+            dram,
+            caches: self.hier.profile()?,
+        })
+    }
+
+    /// Cycle-skip counters plus (when profiling is on) the full cycle
+    /// attribution — everything deliberately kept outside [`RunStats`].
+    pub fn telemetry(&self) -> RunTelemetry {
+        RunTelemetry {
+            skipped_cycles: self.skipped_cycles,
+            skip_events: self.skip_events,
+            profile: self.collect_profile(),
+            counters: self.profile_trace.as_ref().map(|t| t.snapshot()),
+        }
+    }
+
+    /// Emits Chrome-trace counter tracks (`"ph":"C"`) for the headline
+    /// utilization series, into the profile-only sink. Called only at epoch
+    /// boundaries and at finalization, which the skip certificate never
+    /// elides, so the emitted series is bit-identical with cycle skipping
+    /// on or off.
+    fn emit_profile_counters(&self, now: Cycle, dx100_depth: u64) {
+        let Some(root) = &self.profile_trace else {
+            return;
+        };
+        let active: u64 = self
+            .cores
+            .iter()
+            .filter_map(|c| c.profile())
+            .map(|p| p.active)
+            .sum();
+        let cmd: u64 = self
+            .dram
+            .channel_profiles()
+            .into_iter()
+            .flatten()
+            .map(|p| p.cmd_ticks)
+            .sum();
+        root.counter("profile", "core_active_cycles", now, active);
+        root.counter("profile", "dram_cmd_ticks", now, cmd);
+        root.counter("profile", "dx100_queue_depth", now, dx100_depth);
     }
 
     /// Event-driven cycle skipping: when every component certifies that the
@@ -663,8 +783,11 @@ impl System {
         let m = self.cfg.cpu_cycles_per_dram_tick;
         let ticks = to.div_ceil(m) - from.div_ceil(m);
         if ticks > 0 {
-            self.dram.credit_idle_ticks(ticks);
+            self.dram.credit_idle_ticks(from.div_ceil(m), ticks);
         }
+        // The hierarchy ticks every CPU cycle; its occupancy profile gets
+        // one frozen sample per elided cycle.
+        self.hier.credit_idle_span(to - from);
         self.span_start = to;
     }
 
@@ -850,6 +973,7 @@ impl System {
             if let Some(s) = &mut self.sampler {
                 s.sample(now, &cumulative, depth);
             }
+            self.emit_profile_counters(now, depth);
         }
 
         self.clock += 1;

@@ -338,6 +338,7 @@ impl KernelRun for BetweennessCentrality {
         }
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -348,6 +349,7 @@ impl KernelRun for BetweennessCentrality {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

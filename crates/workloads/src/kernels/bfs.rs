@@ -449,6 +449,7 @@ impl KernelRun for Bfs {
             state: 0,
         };
         let stats = sys.run(&mut driver);
+        let telemetry = sys.telemetry();
 
         // Final depths must match the reference in every mode (the driver
         // asserted per-level agreement for DX100 already).
@@ -456,6 +457,7 @@ impl KernelRun for Bfs {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

@@ -266,6 +266,7 @@ impl KernelRun for ConjugateGradient {
         }));
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             // Verify the final gathered tile against x[col[j]].
@@ -285,6 +286,7 @@ impl KernelRun for ConjugateGradient {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

@@ -249,6 +249,7 @@ impl KernelRun for IntegerSort {
             Mode::Dx100 => dx100_phases(&d, self.keys, self.key_space, cores, cfg),
         };
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             // Verify the machine's memory against the reference.
@@ -271,6 +272,7 @@ impl KernelRun for IntegerSort {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 

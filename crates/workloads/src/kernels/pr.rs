@@ -293,6 +293,7 @@ impl KernelRun for PageRank {
         phases.push(Phase::WaitCoresIdle);
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -304,6 +305,7 @@ impl KernelRun for PageRank {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 

@@ -407,6 +407,7 @@ impl KernelRun for RadixJoinHistogram {
         phases.push(Phase::WaitCoresIdle);
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -426,6 +427,7 @@ impl KernelRun for RadixJoinHistogram {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

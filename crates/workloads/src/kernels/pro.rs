@@ -421,6 +421,7 @@ impl KernelRun for RadixJoinChaining {
         phases.push(Phase::WaitCoresIdle);
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -436,6 +437,7 @@ impl KernelRun for RadixJoinChaining {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

@@ -490,6 +490,7 @@ impl Ume {
         phases.push(Phase::WaitCoresIdle);
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -501,6 +502,7 @@ impl Ume {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 
@@ -654,6 +656,7 @@ impl Ume {
         phases.push(Phase::WaitCoresIdle);
         phases.push(Phase::RoiEnd);
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             let image = sys.into_image();
@@ -665,6 +668,7 @@ impl Ume {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

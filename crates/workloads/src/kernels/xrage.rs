@@ -220,6 +220,7 @@ impl KernelRun for Xrage {
             }
         };
         let stats = sys.run(&mut PhasedDriver::new(phases));
+        let telemetry = sys.telemetry();
 
         if mode == Mode::Dx100 {
             // Positions with a single writer must match the reference
@@ -249,6 +250,7 @@ impl KernelRun for Xrage {
         WorkloadResult {
             stats,
             checksum: expected,
+            telemetry,
         }
     }
 }

@@ -25,7 +25,7 @@ pub mod kernels;
 pub mod micro;
 pub mod util;
 
-use dx100_sim::{RunStats, SystemConfig};
+use dx100_sim::{RunStats, RunTelemetry, SystemConfig};
 
 /// Which machine runs the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,11 @@ pub struct WorkloadResult {
     pub stats: RunStats,
     /// Checksum of the (verified) kernel output, stable across modes.
     pub checksum: u64,
+    /// Cycle-skip counters and (with `obs.profile`) the cycle attribution.
+    /// Kept outside [`RunStats`] so those stay bit-identical across
+    /// telemetry switches; defaulted on paths that extrapolate stats
+    /// rather than simulate end-to-end (sampled runs).
+    pub telemetry: RunTelemetry,
 }
 
 /// A runnable kernel at a fixed dataset scale.

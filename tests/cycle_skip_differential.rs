@@ -84,6 +84,84 @@ fn skip_on_off_bit_identical_dmp() {
     }
 }
 
+fn cfg_profiled(mode: Mode, skip: bool) -> SystemConfig {
+    let mut cfg = cfg_for(mode, skip);
+    cfg.obs.profile = true;
+    cfg
+}
+
+/// With profiling on, the attribution itself must be bit-identical between
+/// cycle-skip on and off: every elided span is batch-credited through the
+/// same settle path that credits stats, and the counter-event series is
+/// sampled only at never-elided cycles. Also re-checks the MECE sums in
+/// release builds, where `collect_profile`'s debug_asserts are compiled
+/// out.
+#[test]
+fn profile_bit_identical_skip_on_off() {
+    for kernel in all_kernels(TINY) {
+        for mode in [Mode::Baseline, Mode::Dx100] {
+            let on = kernel.run(mode, &cfg_profiled(mode, true), SEED);
+            let off = kernel.run(mode, &cfg_profiled(mode, false), SEED);
+            let label = format!("{} [{}]", kernel.name(), mode.label());
+            assert_eq!(
+                on.telemetry.profile, off.telemetry.profile,
+                "cycle attribution diverged with cycle skipping: {label}"
+            );
+            assert_eq!(
+                on.telemetry.counters, off.telemetry.counters,
+                "counter-event series diverged with cycle skipping: {label}"
+            );
+            let p = on.telemetry.profile.as_ref().expect("profile enabled");
+            // MECE: all core-cycles land in exactly one bucket or `drained`.
+            assert_eq!(
+                p.cores.attributed() + p.core_drained,
+                p.elapsed * p.num_cores as u64,
+                "core attribution does not sum to elapsed core-cycles: {label}"
+            );
+            // Every DX100 instance attributes each elapsed cycle once.
+            if let Some(e) = &p.engines {
+                assert!(
+                    e.attributed() > 0 && e.attributed() % p.elapsed == 0,
+                    "engine attribution is not a whole number of instances: {label}"
+                );
+            }
+            // Channels tick in lockstep; each attributes every tick once.
+            for (i, ch) in p.dram.iter().enumerate() {
+                assert_eq!(
+                    ch.attributed(),
+                    p.dram[0].attributed(),
+                    "channel {i} attributed a different tick count: {label}"
+                );
+                assert_eq!(
+                    ch.queue_depth.total(),
+                    ch.attributed(),
+                    "channel {i} queue-depth samples != ticks: {label}"
+                );
+            }
+        }
+    }
+}
+
+/// Turning the profiler on must not perturb the simulation: `RunStats`
+/// (including traces and epoch samples, which `cfg_for` enables) and the
+/// checksum stay byte-identical with `--profile` on vs off.
+#[test]
+fn run_stats_identical_profile_on_off() {
+    for kernel in all_kernels(TINY) {
+        for mode in [Mode::Baseline, Mode::Dx100] {
+            let prof = kernel.run(mode, &cfg_profiled(mode, true), SEED);
+            let bare = kernel.run(mode, &cfg_for(mode, true), SEED);
+            let label = format!("{} [{}]", kernel.name(), mode.label());
+            assert_eq!(prof.checksum, bare.checksum, "checksum diverged: {label}");
+            assert_eq!(
+                format!("{:?}", prof.stats),
+                format!("{:?}", bare.stats),
+                "stats/trace/epochs diverged with profiling on: {label}"
+            );
+        }
+    }
+}
+
 /// A serial pointer-chase over a cold array: one core, each load dependent
 /// on the previous one, so the machine spends most cycles waiting on DRAM.
 fn sparse_chase() -> (MemoryImage, Vec<CoreOp>) {
@@ -164,19 +242,23 @@ proptest! {
     /// system skip layer uses it: whenever `next_event(now)` names a future
     /// tick `t`, (a) ticking each cycle of the gap one-by-one and (b)
     /// jumping over it with `credit_idle_ticks` must leave bit-identical
-    /// statistics and produce the same response schedule for the rest of
-    /// the run — and while approaching `t`, `next_event` never moves the
-    /// event later (no missed wakeups).
+    /// statistics — including the cycle-attribution profile, whose elided
+    /// spans are batch-credited — and produce the same response schedule
+    /// for the rest of the run; and while approaching `t`, `next_event`
+    /// never moves the event later (no missed wakeups). The profile must
+    /// also stay MECE: every channel attributes exactly `ticks` ticks, no
+    /// matter how the random request stream carves the run into spans.
     #[test]
     fn dram_gap_skip_equals_tick_by_tick(
         reqs in proptest::collection::vec((0u64..4096, any::<bool>()), 1usize..120),
         rate in 1usize..4,
     ) {
-        // (response id, tick) schedule plus final stats, driving with or
-        // without gap skipping.
-        type Driven = Result<(Vec<(u64, u64)>, String, u64), TestCaseError>;
+        // (response id, tick) schedule plus final stats and profiles,
+        // driving with or without gap skipping.
+        type Driven = Result<(Vec<(u64, u64)>, String, String, u64), TestCaseError>;
         let drive = |skip: bool| -> Driven {
             let mut dram = DramSystem::new(DramConfig::ddr4_3200_2ch());
+            dram.enable_profile();
             let mut pending: VecDeque<(u64, LineAddr, bool)> = reqs
                 .iter()
                 .enumerate()
@@ -210,7 +292,7 @@ proptest! {
                                     );
                                 }
                             }
-                            dram.credit_idle_ticks(t - now);
+                            dram.credit_idle_ticks(now, t - now);
                             skipped += t - now;
                             now = t;
                         }
@@ -223,11 +305,30 @@ proptest! {
                 now += 1;
                 prop_assert!(now < 4_000_000, "drain timeout");
             }
-            Ok((schedule, format!("{:?}", dram.stats()), skipped))
+            let ticks = dram.stats().ticks;
+            let profiles = dram.channel_profiles();
+            for (i, p) in profiles.iter().enumerate() {
+                let p = p.expect("profile enabled");
+                prop_assert_eq!(
+                    p.attributed(), ticks,
+                    "channel {} attribution is not MECE (skip={})", i, skip
+                );
+                prop_assert_eq!(
+                    p.queue_depth.total(), ticks,
+                    "channel {} queue-depth samples != ticks (skip={})", i, skip
+                );
+            }
+            Ok((
+                schedule,
+                format!("{:?}", dram.stats()),
+                format!("{:?}", profiles),
+                skipped,
+            ))
         };
-        let (sched_skip, stats_skip, skipped) = drive(true)?;
-        let (sched_tick, stats_tick, _) = drive(false)?;
+        let (sched_skip, stats_skip, prof_skip, skipped) = drive(true)?;
+        let (sched_tick, stats_tick, prof_tick, _) = drive(false)?;
         prop_assert_eq!(sched_skip, sched_tick, "response schedule diverged");
         prop_assert_eq!(stats_skip, stats_tick, "DRAM stats diverged (skipped {} ticks)", skipped);
+        prop_assert_eq!(prof_skip, prof_tick, "DRAM attribution diverged (skipped {} ticks)", skipped);
     }
 }

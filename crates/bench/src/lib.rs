@@ -49,9 +49,11 @@
 //! * `--seed <n>` — dataset + sampling RNG seed (default 1); runs are
 //!   bit-reproducible for a given seed regardless of thread count.
 
+pub mod jobspec;
 pub mod progress;
 pub mod sampled;
 
+pub use jobspec::{machine_config, JobCli, JobSpec};
 pub use progress::Progress;
 pub use sampled::{run_figure, FigureRun, WalltimeEntry};
 
@@ -123,9 +125,12 @@ pub fn run_kernel_row_timed(
         let r = kernel.run(mode, &cfg, seed);
         (r, t.elapsed().as_secs_f64())
     };
-    let (baseline, tb) = timed(Mode::Baseline, with_obs(SystemConfig::paper_baseline()));
-    let (dx100, tx) = timed(Mode::Dx100, with_obs(SystemConfig::paper_dx100()));
-    let (dmp, td) = match with_dmp.then(|| timed(Mode::Dmp, with_obs(SystemConfig::paper_dmp()))) {
+    // Machine construction is shared with the job/serve path
+    // (`jobspec::machine_config`), so CLI sweeps and served jobs measure
+    // provably identical configurations.
+    let (baseline, tb) = timed(Mode::Baseline, with_obs(machine_config(Mode::Baseline)));
+    let (dx100, tx) = timed(Mode::Dx100, with_obs(machine_config(Mode::Dx100)));
+    let (dmp, td) = match with_dmp.then(|| timed(Mode::Dmp, with_obs(machine_config(Mode::Dmp)))) {
         Some((r, t)) => (Some(r), t),
         None => (None, 0.0),
     };

@@ -190,14 +190,16 @@ fn run_full(
     }
 }
 
-/// The modes a sweep runs, with their machine configurations.
+/// The modes a sweep runs, with their machine configurations — built by
+/// [`crate::jobspec::machine_config`], the same constructor the job/serve
+/// path resolves specs through.
 fn sweep_modes(with_dmp: bool) -> Vec<(Mode, SystemConfig)> {
     let mut m = vec![
-        (Mode::Baseline, SystemConfig::paper_baseline()),
-        (Mode::Dx100, SystemConfig::paper_dx100()),
+        (Mode::Baseline, crate::machine_config(Mode::Baseline)),
+        (Mode::Dx100, crate::machine_config(Mode::Dx100)),
     ];
     if with_dmp {
-        m.push((Mode::Dmp, SystemConfig::paper_dmp()));
+        m.push((Mode::Dmp, crate::machine_config(Mode::Dmp)));
     }
     m
 }
@@ -213,8 +215,10 @@ struct Prep {
 
 /// One task's output: a window's ROI stats or a full run, plus seconds.
 enum Out {
-    Window(RunStats, f64),
-    Full(WorkloadResult, f64),
+    // Boxed: both payloads are hundreds of bytes and travel through the
+    // worker pool's result slots; keep the enum pointer-sized.
+    Window(Box<RunStats>, f64),
+    Full(Box<WorkloadResult>, f64),
 }
 
 /// The parallel sampled sweep.
@@ -260,7 +264,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                     tasks.push(Box::new(move || {
                         let t = Instant::now();
                         let stats = sampling::replay_window(run, w, warm);
-                        Out::Window(stats, t.elapsed().as_secs_f64())
+                        Out::Window(Box::new(stats), t.elapsed().as_secs_f64())
                     }));
                 }
             }
@@ -271,7 +275,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                 tasks.push(Box::new(move || {
                     let t = Instant::now();
                     let r = kernel.run(mode, cfg, seed);
-                    Out::Full(r, t.elapsed().as_secs_f64())
+                    Out::Full(Box::new(r), t.elapsed().as_secs_f64())
                 }));
             }
         }
@@ -296,7 +300,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
                 for o in outs {
                     match o {
                         Out::Window(s, t) => {
-                            stats.push(s);
+                            stats.push(*s);
                             secs += t;
                         }
                         Out::Full(..) => unreachable!("windowed prep got a full-run result"),
@@ -327,7 +331,7 @@ fn run_sampled(scale: f64, with_dmp: bool, seed: u64, threads: usize) -> FigureR
             None => {
                 let mut it = outs.into_iter();
                 let (r, secs) = match it.next() {
-                    Some(Out::Full(r, t)) => (r, t),
+                    Some(Out::Full(r, t)) => (*r, t),
                     _ => unreachable!("fallback prep must produce exactly one full run"),
                 };
                 walltime.push(WalltimeEntry {

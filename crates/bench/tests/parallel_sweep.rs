@@ -37,8 +37,8 @@ fn row_fingerprint(r: &KernelRow) -> String {
         r.name,
         r.baseline.checksum,
         r.dx100.checksum,
-        run_stats_json(&r.baseline.stats).to_string(),
-        run_stats_json(&r.dx100.stats).to_string(),
+        run_stats_json(&r.baseline.stats),
+        run_stats_json(&r.dx100.stats),
         dmp,
     )
 }

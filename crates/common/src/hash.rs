@@ -1,0 +1,127 @@
+//! Stable content hashing: FNV-1a 64.
+//!
+//! The serving layer (`dx100-serve`) keys its on-disk result cache by a
+//! content hash of the fully resolved job configuration, so the hash
+//! function is part of the cache's on-disk format: it must produce the
+//! same value on every platform and every build, forever. FNV-1a is the
+//! smallest function with well-known published test vectors that meets
+//! that bar; the golden vectors below pin this implementation to the
+//! reference one, and any change to them is a cache-format break.
+//!
+//! Not a cryptographic hash: collisions are possible in principle, but
+//! with a handful of distinct job configs per deployment the 64-bit space
+//! is effectively collision-free, and a collision only ever returns a
+//! *wrong cached report*, never corrupts state — acceptable for a
+//! memoization cache whose ground truth can always be recomputed.
+
+/// FNV-1a 64 offset basis.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a 64 over `bytes`.
+///
+/// ```
+/// use dx100_common::hash::fnv1a_64;
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64 state; feeding bytes in any split produces the
+/// same digest as one [`fnv1a_64`] call over the concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh state (offset basis).
+    pub fn new() -> Self {
+        Fnv64(FNV1A_OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV1A_PRIME);
+        }
+    }
+
+    /// The digest so far (the state itself; FNV has no finalization).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fixed-width lowercase hex form used as the cache file name: 16 digits,
+/// zero-padded, so keys sort lexicographically like they sort numerically
+/// and every key has the same length.
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden vectors from the reference FNV distribution
+    /// (<http://www.isthe.com/chongo/tech/comp/fnv/>). These pin the
+    /// on-disk cache key format; a failure here means existing caches
+    /// would be silently invalidated.
+    #[test]
+    fn golden_vectors() {
+        for (input, want) in [
+            (&b""[..], 0xcbf29ce484222325),
+            (&b"a"[..], 0xaf63dc4c8601ec8c),
+            (&b"b"[..], 0xaf63df4c8601f1a5),
+            (&b"foobar"[..], 0x85944171f73967e8),
+            (&b"chongo was here!\n"[..], 0x46810940eff5f915),
+        ] {
+            assert_eq!(
+                fnv1a_64(input),
+                want,
+                "fnv1a_64({:?})",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Fnv64::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), fnv1a_64(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn hex_is_fixed_width_lowercase() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(0xcbf29ce484222325), "cbf29ce484222325");
+        assert_eq!(hex16(u64::MAX), "ffffffffffffffff");
+        assert_eq!(hex16(0xA), "000000000000000a");
+    }
+
+    #[test]
+    fn distinct_inputs_disperse() {
+        // Not a statistical test, just a guard against a degenerate
+        // implementation (e.g. ignoring input bytes).
+        let a = fnv1a_64(b"kernel=is");
+        let b = fnv1a_64(b"kernel=pr");
+        let c = fnv1a_64(b"kernel=is "); // trailing byte matters
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -364,9 +364,16 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             .map(Json::Num)
             .map_err(|e| format!("bad number `{text}`: {e}"))
     } else {
-        text.parse::<i128>()
-            .map(Json::Int)
-            .map_err(|e| format!("bad number `{text}`: {e}"))
+        // Integer literals beyond i128 fall back to f64: large floats
+        // serialize as plain digit strings (Display uses no exponent for
+        // them), and the parser must accept its own serializer's output.
+        text.parse::<i128>().map(Json::Int).or_else(|_| {
+            text.parse::<f64>()
+                .ok()
+                .filter(|f| f.is_finite())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number `{text}`"))
+        })
     }
 }
 
@@ -393,6 +400,20 @@ mod tests {
         assert_eq!(Json::Num(2.0).to_string(), "2.0");
         assert_eq!(Json::Int(2).to_string(), "2");
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn oversized_integer_literals_parse_as_floats() {
+        // f64::MAX serializes as a 309-digit plain integer string; it must
+        // re-parse (as the float it is) rather than overflow i128.
+        let s = Json::Num(f64::MAX).to_string();
+        assert!(
+            !s.contains(['e', '.']),
+            "test premise: plain digits, got {s}"
+        );
+        assert_eq!(Json::parse(&s).unwrap(), Json::Num(f64::MAX));
+        // And the fallback still rejects non-numbers.
+        assert!(Json::parse("99999999999999999999999999999999999999999x").is_err());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! links, lightweight statistics helpers ([`stats`]), batch-exact
 //! cycle-attribution primitives ([`profile`]), the deterministic
 //! worker [`pool`] that parallel figure sweeps and sampled replay share,
-//! the observability layer's event tracing ([`trace`]) and its
-//! dependency-free JSON value ([`json`]).
+//! the observability layer's event tracing ([`trace`]), its
+//! dependency-free JSON value ([`json`]), and the stable content hash
+//! ([`hash`]) the serving layer keys its result cache by.
 //!
 //! # Example
 //!
@@ -26,6 +27,7 @@
 
 pub mod checkpoint;
 pub mod flags;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod profile;

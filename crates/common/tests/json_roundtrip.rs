@@ -1,0 +1,231 @@
+//! Round-trip and property coverage for `dx100_common::json` — the wire
+//! format of the serving layer rides on it, so parse ↔ serialize must be
+//! lossless and serialization must be a *canonical fixpoint*: for any
+//! value `v`, `serialize(parse(serialize(v))) == serialize(v)` byte for
+//! byte. The serve result cache compares and stores exactly those bytes.
+
+use dx100_common::json::{obj, Json};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Semantic equality: like `PartialEq` but treating `Int(i)` and an
+/// integral `Num` of the same value as equal. The serializer prints
+/// integral floats ≥ 1e15 without a fraction, so they re-parse as `Int` —
+/// numerically lossless, structurally coerced.
+fn sem_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Arr(x), Json::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| sem_eq(a, b))
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && sem_eq(va, vb))
+        }
+        (Json::Int(i), Json::Num(n)) | (Json::Num(n), Json::Int(i)) => *i as f64 == *n,
+        _ => a == b,
+    }
+}
+
+/// A random JSON value with bounded depth/size. Floats are drawn finite
+/// (non-finite serializes as `null` by design, tested separately);
+/// strings mix ASCII, controls, escapes, and multi-byte scalars.
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.gen_range(0..if leaf_only { 5u32 } else { 7u32 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Bias toward edge magnitudes: extremes, powers of two, small.
+            let i: i128 = match rng.gen_range(0..4u32) {
+                0 => rng.gen_range(-1000i64..1000) as i128,
+                1 => i128::from(rng.next_u64()) << rng.gen_range(0..64u32),
+                2 => i128::MAX - rng.gen_range(0i64..3) as i128,
+                _ => i128::MIN + rng.gen_range(0i64..3) as i128,
+            };
+            Json::Int(i)
+        }
+        3 => {
+            let mag = 10f64.powi(rng.gen_range(-320i32..=308));
+            let n = (rng.gen_range(-1.0..1.0f64)) * mag;
+            Json::Num(if n.is_finite() { n } else { 0.0 })
+        }
+        4 => Json::Str(random_string(rng)),
+        5 => Json::Arr(
+            (0..rng.gen_range(0..5usize))
+                .map(|_| random_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0..5usize))
+                .map(|i| {
+                    (
+                        format!("{}{}", random_string(rng), i),
+                        random_json(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{0}',
+        '\u{1}',
+        '\u{1f}',
+        '\u{7f}',
+        'é',
+        '中',
+        '\u{1F600}',
+        '\u{2028}',
+        '€',
+    ];
+    (0..rng.gen_range(0..12usize))
+        .map(|_| POOL[rng.gen_range(0..POOL.len())])
+        .collect()
+}
+
+#[test]
+fn random_values_round_trip_and_serialization_is_a_fixpoint() {
+    let mut rng = StdRng::seed_from_u64(0xd100);
+    for case in 0..600 {
+        let v = random_json(&mut rng, 4);
+        let s = v.to_string();
+        let back = Json::parse(&s).unwrap_or_else(|e| panic!("case {case}: {e}\n{s}"));
+        assert!(sem_eq(&back, &v), "case {case}: {v:?} -> {s} -> {back:?}");
+        // Canonical fixpoint: re-serializing the parse yields identical
+        // bytes — what makes cached response bodies byte-comparable.
+        assert_eq!(back.to_string(), s, "case {case}");
+    }
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    for s in [
+        "",
+        "plain",
+        "quote\" backslash\\ slash/ nl\n cr\r tab\t",
+        "\u{0}\u{1}\u{8}\u{c}\u{1f}", // controls, incl. \b and \f forms
+        "mixed é 中 😀 € \u{2028}\u{2029}", // multi-byte + JS line separators
+        "ends with backslash\\",
+        "\"",
+    ] {
+        let v = Json::Str(s.to_string());
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+    }
+}
+
+#[test]
+fn escape_forms_parse_to_expected_scalars() {
+    assert_eq!(
+        Json::parse(r#""A\t\/\b\f""#).unwrap(),
+        Json::Str("A\t/\u{8}\u{c}".to_string())
+    );
+    // A lone surrogate cannot form a scalar; the parser substitutes
+    // U+FFFD rather than erroring (matches lossy external producers).
+    assert_eq!(
+        Json::parse(r#""\ud834""#).unwrap(),
+        Json::Str("\u{fffd}".to_string())
+    );
+}
+
+#[test]
+fn number_edge_cases() {
+    // Integer extremes survive (i128 carrier).
+    for i in [
+        0i128,
+        -1,
+        i64::MAX as i128,
+        i64::MIN as i128,
+        i128::MAX,
+        i128::MIN,
+    ] {
+        let s = Json::Int(i).to_string();
+        assert_eq!(Json::parse(&s).unwrap(), Json::Int(i), "{s}");
+    }
+    // Scientific notation parses as float.
+    assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+    assert_eq!(Json::parse("-2.5e-3").unwrap(), Json::Num(-0.0025));
+    // Integral floats keep their fraction marker under 1e15…
+    assert_eq!(Json::Num(2.0).to_string(), "2.0");
+    // …and above it coerce to Int on re-parse, numerically lossless.
+    let s = Json::Num(1e15).to_string();
+    assert_eq!(Json::parse(&s).unwrap(), Json::Int(1_000_000_000_000_000));
+    // Subnormal and near-max magnitudes round-trip through Display.
+    for f in [5e-324, f64::MAX, -5e-321] {
+        let s = Json::Num(f).to_string();
+        assert_eq!(Json::parse(&s).unwrap(), Json::Num(f), "{s}");
+    }
+    // Non-finite serializes as null by design (no round trip).
+    assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    // "-0" is an integer zero to the parser.
+    assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+}
+
+#[test]
+fn nested_structures_round_trip() {
+    // 64-deep array nesting.
+    let mut v = Json::Int(7);
+    for _ in 0..64 {
+        v = Json::Arr(vec![v]);
+    }
+    let s = v.to_string();
+    assert_eq!(Json::parse(&s).unwrap(), v);
+
+    // Objects preserve insertion order and tolerate duplicate keys
+    // (first-wins on lookup, both preserved on the wire).
+    let dup = Json::Obj(vec![
+        ("k".to_string(), Json::Int(1)),
+        ("k".to_string(), Json::Int(2)),
+    ]);
+    let s = dup.to_string();
+    assert_eq!(s, r#"{"k":1,"k":2}"#);
+    let back = Json::parse(&s).unwrap();
+    assert_eq!(back, dup);
+    assert_eq!(back.get("k"), Some(&Json::Int(1)));
+}
+
+#[test]
+fn whitespace_is_insignificant_between_tokens() {
+    let compact = obj([
+        ("a", Json::Arr(vec![Json::Int(1), Json::Bool(false)])),
+        ("b", Json::Str("x".to_string())),
+    ]);
+    let spaced = " {\n\t\"a\" : [ 1 ,\r false ] , \"b\" : \"x\" } \n";
+    assert_eq!(Json::parse(spaced).unwrap(), compact);
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{a:1}",
+        "\"unterminated",
+        "\"bad \\x escape\"",
+        "01x",
+        "-",
+        "1 2",
+        "[1] trailing",
+        "nul",
+        "tru",
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+    }
+}

@@ -593,9 +593,11 @@ mod tests {
 
     #[test]
     fn scale_merge_scales_counters_and_preserves_means() {
-        let mut s = RunStats::default();
-        s.cycles = 1000;
-        s.instructions = 4000;
+        let mut s = RunStats {
+            cycles: 1000,
+            instructions: 4000,
+            ..RunStats::default()
+        };
         s.dram.reads = 100;
         for _ in 0..30 {
             s.dram.row_hits_misses.hit();
@@ -619,11 +621,10 @@ mod tests {
     fn reconstitute_weights_clusters_and_reports_spread() {
         // Two clusters: cluster 0 (weight 2× per rep, two reps), cluster 1
         // (one rep at factor 4).
-        let mk = |cycles: u64| {
-            let mut r = RunStats::default();
-            r.cycles = cycles;
-            r.instructions = cycles;
-            r
+        let mk = |cycles: u64| RunStats {
+            cycles,
+            instructions: cycles,
+            ..RunStats::default()
         };
         let plan = SamplePlan {
             windows: vec![
@@ -687,11 +688,10 @@ mod tests {
 
     #[test]
     fn all_singleton_clusters_report_a_lower_bound() {
-        let mk = |cycles: u64| {
-            let mut r = RunStats::default();
-            r.cycles = cycles;
-            r.instructions = cycles;
-            r
+        let mk = |cycles: u64| RunStats {
+            cycles,
+            instructions: cycles,
+            ..RunStats::default()
         };
         let plan = SamplePlan {
             windows: vec![

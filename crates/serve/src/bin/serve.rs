@@ -1,0 +1,31 @@
+//! The dx100 simulation daemon.
+//!
+//! ```text
+//! serve --addr 127.0.0.1:8100 --cache-dir dx100-cache --max-jobs 4
+//! ```
+//!
+//! Serves the `/v1/*` job API until a `POST /v1/shutdown`, then drains
+//! in-flight jobs and exits 0.
+
+use dx100_common::flags::ServeOpts;
+use dx100_serve::Server;
+
+fn main() {
+    let opts = ServeOpts::parse();
+    let server = match Server::bind(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start on {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serve: listening on {} (cache {} cap {} MiB, {} workers)",
+        server.local_addr(),
+        opts.cache_dir.display(),
+        opts.cache_cap_mb,
+        opts.max_jobs,
+    );
+    server.run();
+    eprintln!("serve: drained, bye");
+}

@@ -1,0 +1,33 @@
+//! dx100-serve: simulation-as-a-service over the DX100 simulator.
+//!
+//! A dependency-free HTTP/1.1 JSON daemon (`std::net` only — no async
+//! runtime, builds offline) that accepts simulation jobs, schedules them
+//! on a worker pool, and memoizes every report in a content-addressed
+//! on-disk cache. Because the simulator is bit-deterministic for a fully
+//! resolved job config (kernel, machine, scale, seed, mode flags), the
+//! cache key is simply the FNV-1a 64 hash of the config's canonical JSON
+//! — a repeat submission is an O(1) file read returning a byte-identical
+//! report with `"cached": true`.
+//!
+//! Layering, bottom-up:
+//!
+//! - [`http`] — bounded request parsing, JSON responses, a blocking
+//!   client for tests and smoke gates.
+//! - [`cache`] — the content-addressed result store (atomic writes,
+//!   size-capped LRU eviction by mtime).
+//! - [`scheduler`] — specs → jobs: cache lookup, in-flight coalescing,
+//!   worker-pool execution, graceful drain.
+//! - [`server`] — routing and the accept loop.
+//!
+//! Start one with the `serve` binary; the same job specs also run
+//! locally via the `job` binary in dx100-bench (the two paths share
+//! [`dx100_bench::JobSpec`], so their reports are byte-identical).
+
+pub mod cache;
+pub mod http;
+pub mod scheduler;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use scheduler::{JobStatus, JobView, Scheduler, Submitted};
+pub use server::{Server, ServerHandle, SERVE_VERSION};

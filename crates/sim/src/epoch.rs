@@ -194,9 +194,11 @@ mod tests {
     /// Cumulative stats with the counters the sampler reads set to simple
     /// linear functions of `cycle`, so interval deltas are predictable.
     fn cumulative(cycle: u64) -> RunStats {
-        let mut s = RunStats::default();
-        s.cycles = cycle;
-        s.instructions = cycle * 2;
+        let mut s = RunStats {
+            cycles: cycle,
+            instructions: cycle * 2,
+            ..RunStats::default()
+        };
         s.dram.reads = cycle / 10;
         s.dram.writes = cycle / 20;
         s.dram.ticks = cycle / 2;

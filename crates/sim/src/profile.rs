@@ -232,15 +232,19 @@ mod tests {
     use super::*;
 
     fn sample_profile() -> SystemProfile {
-        let mut cores = CoreProfile::default();
-        cores.active = 60;
-        cores.wait_flag = 30;
-        cores.empty = 10;
-        let mut engines = EngineProfile::default();
-        engines.active = 40;
-        engines.wait_mem = 50;
-        engines.idle = 10;
-        engines.indirect_busy = 35;
+        let cores = CoreProfile {
+            active: 60,
+            wait_flag: 30,
+            empty: 10,
+            ..CoreProfile::default()
+        };
+        let mut engines = EngineProfile {
+            active: 40,
+            wait_mem: 50,
+            idle: 10,
+            indirect_busy: 35,
+            ..EngineProfile::default()
+        };
         engines.row_table_depth.record_n(16, 100);
         let mut ch = ChannelProfile::new(4);
         ch.cmd_ticks = 20;
